@@ -1,0 +1,387 @@
+// Root benchmark harness: one benchmark per paper figure/table
+// (regenerating the artifact end to end) plus micro-benchmarks of the
+// estimators and sampling substrates they are built from.
+//
+// Run with: go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/aggregate"
+	"repro/internal/dataset"
+	"repro/internal/estimator"
+	"repro/internal/experiments"
+	"repro/internal/randx"
+	"repro/internal/sampling"
+	"repro/internal/simdata"
+	"repro/internal/xhash"
+)
+
+var sinkTables []*experiments.Table
+
+// BenchmarkFigure1 regenerates the Figure 1 estimator tables and variance
+// ratios (exact enumeration).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkTables = experiments.Figure1()
+	}
+}
+
+// BenchmarkFigure2 regenerates the OR variance curves of Figure 2.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkTables = []*experiments.Table{experiments.Figure2()}
+	}
+}
+
+// BenchmarkFigure3 regenerates the PPS max^(L) table of Figure 3 with its
+// integration-based unbiasedness check.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkTables = []*experiments.Table{experiments.Figure3()}
+	}
+}
+
+// BenchmarkFigure4 regenerates the Figure 4 variance and ratio curves
+// (deterministic seed-space integration).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkTables = experiments.Figure4()
+	}
+}
+
+// BenchmarkFigure5 regenerates the worked example of Figure 5.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkTables = experiments.Figure5()
+	}
+}
+
+// BenchmarkFigure6 regenerates the sample-size curves of Figure 6
+// (bisection over the exact variance formulas).
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkTables = experiments.Figure6()
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7 on a 20×-scaled-down traffic
+// workload (per-key exact variance integration; the full-scale figure is
+// cmd/figures -fig 7).
+func BenchmarkFigure7(b *testing.B) {
+	opt := experiments.Figure7Options{ScaleDown: 20, IntegrationN: 32,
+		Fractions: []float64{0.01, 0.1, 0.5}}
+	for i := 0; i < b.N; i++ {
+		sinkTables = []*experiments.Table{experiments.Figure7(opt)}
+	}
+}
+
+// BenchmarkTheorem61 regenerates the impossibility report of §6.
+func BenchmarkTheorem61(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkTables = []*experiments.Table{experiments.Theorem61()}
+	}
+}
+
+// BenchmarkAblation regenerates the design-choice ablation tables (exact
+// variances).
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkTables = experiments.Ablation()
+	}
+}
+
+// --- Micro-benchmarks: estimators ---
+
+var sinkF float64
+
+func benchOutcomes(n int) []estimator.ObliviousOutcome {
+	rng := randx.New(9)
+	p := []float64{0.3, 0.6}
+	out := make([]estimator.ObliviousOutcome, n)
+	for i := range out {
+		v := []float64{rng.Float64() * 100, rng.Float64() * 100}
+		u := []float64{rng.Float64(), rng.Float64()}
+		out[i] = estimator.SampleOblivious(v, u, p)
+	}
+	return out
+}
+
+// BenchmarkMaxL2 measures the per-outcome cost of the r=2 oblivious
+// max^(L) estimator.
+func BenchmarkMaxL2(b *testing.B) {
+	outs := benchOutcomes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF += estimator.MaxL2(outs[i%len(outs)])
+	}
+}
+
+// BenchmarkMaxU2 measures the r=2 oblivious max^(U) estimator.
+func BenchmarkMaxU2(b *testing.B) {
+	outs := benchOutcomes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF += estimator.MaxU2(outs[i%len(outs)])
+	}
+}
+
+// BenchmarkMaxHTOblivious measures the HT baseline.
+func BenchmarkMaxHTOblivious(b *testing.B) {
+	outs := benchOutcomes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF += estimator.MaxHTOblivious(outs[i%len(outs)])
+	}
+}
+
+// BenchmarkMaxLUniformCoefficients measures the O(r²) Theorem 4.2
+// coefficient recurrence.
+func BenchmarkMaxLUniformCoefficients(b *testing.B) {
+	for _, r := range []int{4, 16, 64} {
+		b.Run(benchName("r", r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := estimator.NewMaxLUniform(r, 0.3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkF += e.PrefixSum(1)
+			}
+		})
+	}
+}
+
+// BenchmarkMaxLUniformEstimate measures the per-outcome estimate with
+// precomputed coefficients (r=8).
+func BenchmarkMaxLUniformEstimate(b *testing.B) {
+	e, err := estimator.NewMaxLUniform(8, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(4)
+	vals := make([][]float64, 256)
+	for i := range vals {
+		k := 1 + rng.Intn(8)
+		v := make([]float64, k)
+		for j := range v {
+			v[j] = rng.Float64() * 50
+		}
+		vals[i] = v
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF += e.EstimateValues(vals[i%len(vals)])
+	}
+}
+
+// BenchmarkMaxL2PPS measures the known-seed PPS max^(L) closed form,
+// including its logarithmic regimes.
+func BenchmarkMaxL2PPS(b *testing.B) {
+	rng := randx.New(12)
+	tau := []float64{20, 30}
+	outs := make([]estimator.PPSOutcome, 1024)
+	for i := range outs {
+		v := []float64{rng.Float64() * 40, rng.Float64() * 40}
+		u := []float64{rng.Float64(), rng.Float64()}
+		outs[i] = estimator.SamplePPS(v, u, tau)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF += estimator.MaxL2PPS(outs[i%len(outs)])
+	}
+}
+
+// BenchmarkMaxHTPPS measures the PPS HT baseline.
+func BenchmarkMaxHTPPS(b *testing.B) {
+	rng := randx.New(12)
+	tau := []float64{20, 30}
+	outs := make([]estimator.PPSOutcome, 1024)
+	for i := range outs {
+		v := []float64{rng.Float64() * 40, rng.Float64() * 40}
+		u := []float64{rng.Float64(), rng.Float64()}
+		outs[i] = estimator.SamplePPS(v, u, tau)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF += estimator.MaxHTPPS(outs[i%len(outs)])
+	}
+}
+
+// BenchmarkDeriveBinaryR3 measures the generic Algorithm 1 engine on a
+// 3-entry binary domain.
+func BenchmarkDeriveBinaryR3(b *testing.B) {
+	prob := estimator.DiscreteProblem{
+		P:       []float64{0.3, 0.4, 0.5},
+		Domains: [][]float64{{0, 1}, {0, 1}, {0, 1}},
+		F:       dataset.Max,
+		Less:    estimator.MaxLOrder,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := estimator.Derive(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDerivePlusBinaryR3 measures the constrained f̂(+≺) engine
+// (active-set QP per vector) on the same domain.
+func BenchmarkDerivePlusBinaryR3(b *testing.B) {
+	prob := estimator.DiscreteProblem{
+		P:       []float64{0.3, 0.4, 0.5},
+		Domains: [][]float64{{0, 1}, {0, 1}, {0, 1}},
+		F:       dataset.Max,
+		Less:    estimator.UasOrder,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := estimator.DerivePlus(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeriveUBinaryR3 measures the generic Algorithm 2 engine
+// (batched QP) on a 3-entry binary domain.
+func BenchmarkDeriveUBinaryR3(b *testing.B) {
+	prob := estimator.DiscreteProblem{
+		P:       []float64{0.3, 0.3, 0.3},
+		Domains: [][]float64{{0, 1}, {0, 1}, {0, 1}},
+		F:       dataset.OR,
+		Less:    estimator.SparseOrder,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := estimator.DeriveU(prob, estimator.PositivesBatch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks: sampling substrates ---
+
+func benchInstance(n int) dataset.Instance {
+	rng := randx.New(2)
+	in := make(dataset.Instance, n)
+	for k := dataset.Key(1); k <= dataset.Key(n); k++ {
+		in[k] = 1 + rng.Pareto(1, 1.3)
+	}
+	return in
+}
+
+// BenchmarkPoissonPPS measures one PPS summarization pass over 10k keys.
+func BenchmarkPoissonPPS(b *testing.B) {
+	in := benchInstance(10000)
+	tau := sampling.TauForExpectedSize(in, 500)
+	seeder := xhash.Seeder{Salt: 3}
+	seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sampling.PoissonPPS(in, tau, seed)
+		sinkF += float64(s.Len())
+	}
+}
+
+// BenchmarkBottomK measures one bottom-k pass (heap-based) over 10k keys.
+func BenchmarkBottomK(b *testing.B) {
+	in := benchInstance(10000)
+	seeder := xhash.Seeder{Salt: 3}
+	seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sampling.BottomK(in, 500, sampling.PPS{}, seed)
+		sinkF += s.Tau
+	}
+}
+
+// BenchmarkVarOptStream measures streaming 10k items through a VarOpt-500
+// reservoir.
+func BenchmarkVarOptStream(b *testing.B) {
+	in := benchInstance(10000)
+	keys := make([]dataset.Key, 0, len(in))
+	for h := range in {
+		keys = append(keys, h)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vo := sampling.NewVarOpt(500, randx.New(uint64(i)))
+		for _, h := range keys {
+			vo.Add(h, in[h])
+		}
+		sinkF += vo.Tau()
+	}
+}
+
+// BenchmarkStreamBottomKPush measures the per-arrival cost of the
+// streaming bottom-k sampler.
+func BenchmarkStreamBottomKPush(b *testing.B) {
+	in := benchInstance(4096)
+	keys := make([]dataset.Key, 0, len(in))
+	for h := range in {
+		keys = append(keys, h)
+	}
+	seeder := xhash.Seeder{Salt: 6}
+	seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+	s := sampling.NewStreamBottomK(256, sampling.PPS{}, seed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := keys[i%len(keys)]
+		s.Push(h, in[h])
+	}
+}
+
+// BenchmarkTauForExpectedSize measures the threshold solver.
+func BenchmarkTauForExpectedSize(b *testing.B) {
+	in := benchInstance(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF += sampling.TauForExpectedSize(in, 500)
+	}
+}
+
+// --- Micro-benchmarks: aggregates ---
+
+// BenchmarkMaxDominanceEstimate measures the end-to-end §8.2 pipeline on a
+// 20×-scaled traffic workload (sampling both hours + summing per-key
+// estimates).
+func BenchmarkMaxDominanceEstimate(b *testing.B) {
+	m := simdata.Generate(simdata.ScaledTraffic(20))
+	tau1 := sampling.TauForExpectedSize(m.Instances[0], 100)
+	tau2 := sampling.TauForExpectedSize(m.Instances[1], 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := aggregate.EstimateMaxDominance(m, tau1, tau2, xhash.Seeder{Salt: uint64(i)}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkF += res.L
+	}
+}
+
+// BenchmarkDistinctEstimate measures the §8.1 distinct-count pipeline over
+// two 10k-key sets.
+func BenchmarkDistinctEstimate(b *testing.B) {
+	logs := simdata.RequestLog(10000, 2, 0.3, 5)
+	e := aggregate.DistinctEstimator{P1: 0.1, P2: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := aggregate.EstimateDistinct(logs[0], logs[1], 0.1, 0.1, xhash.Seeder{Salt: uint64(i)}, nil)
+		sinkF += e.L(c)
+	}
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

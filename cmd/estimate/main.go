@@ -1,0 +1,136 @@
+// Command estimate combines serialized summaries into multi-instance
+// estimates — the "post hoc" workflow: instances were summarized
+// independently (possibly on different machines), the summaries were
+// archived as JSON, and queries arrive later.
+//
+// Usage:
+//
+//	estimate -query maxdominance a.json b.json
+//	estimate -query distinct     a.json b.json
+//	estimate -demo                      # generate, serialize, and query a demo pair
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/simdata"
+)
+
+func main() {
+	query := flag.String("query", "maxdominance", "query to run: maxdominance or distinct")
+	demo := flag.Bool("demo", false, "write a demo summary pair to the working directory and query it")
+	flag.Parse()
+
+	if *demo {
+		if err := runDemo(*query); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "need exactly two summary files (or -demo)")
+		os.Exit(2)
+	}
+	if err := run(*query, flag.Arg(0), flag.Arg(1)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(query, file1, file2 string) error {
+	d1, err := os.ReadFile(file1)
+	if err != nil {
+		return err
+	}
+	d2, err := os.ReadFile(file2)
+	if err != nil {
+		return err
+	}
+	switch query {
+	case "maxdominance":
+		s1, err := core.DecodePPSSummary(d1)
+		if err != nil {
+			return err
+		}
+		s2, err := core.DecodePPSSummary(d2)
+		if err != nil {
+			return err
+		}
+		est, err := core.MaxDominance(s1, s2, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("max-dominance over %d keys:\n  HT = %.6g\n  L  = %.6g\n", est.KeysUsed, est.HT, est.L)
+	case "distinct":
+		s1, err := core.DecodeSetSummary(d1)
+		if err != nil {
+			return err
+		}
+		s2, err := core.DecodeSetSummary(d2)
+		if err != nil {
+			return err
+		}
+		est, err := core.DistinctCount(s1, s2, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("distinct count:\n  HT = %.6g\n  L  = %.6g\n  categories: %+v\n", est.HT, est.L, est.Counts)
+	default:
+		return fmt.Errorf("unknown query %q", query)
+	}
+	return nil
+}
+
+func runDemo(query string) error {
+	dir, err := os.MkdirTemp("", "estimate-demo-")
+	if err != nil {
+		return err
+	}
+	m := simdata.Generate(simdata.ScaledTraffic(20))
+	s := core.NewSummarizer(2011)
+	var paths [2]string
+	switch query {
+	case "maxdominance":
+		for i := 0; i < 2; i++ {
+			sum := s.SummarizePPSExpectedSize(i, m.Instances[i], 200)
+			data, err := json.MarshalIndent(sum, "", " ")
+			if err != nil {
+				return err
+			}
+			paths[i] = filepath.Join(dir, fmt.Sprintf("hour%d.json", i+1))
+			if err := os.WriteFile(paths[i], data, 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %s, %s\n", paths[0], paths[1])
+		fmt.Printf("truth: %.6g\n", m.SumAggregate(dataset.Max, nil))
+	case "distinct":
+		for i := 0; i < 2; i++ {
+			members := make(map[dataset.Key]bool, len(m.Instances[i]))
+			for h := range m.Instances[i] {
+				members[h] = true
+			}
+			sum := s.SummarizeSet(i, members, 0.2)
+			data, err := json.MarshalIndent(sum, "", " ")
+			if err != nil {
+				return err
+			}
+			paths[i] = filepath.Join(dir, fmt.Sprintf("hour%d.json", i+1))
+			if err := os.WriteFile(paths[i], data, 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %s, %s\n", paths[0], paths[1])
+		fmt.Printf("truth: %d\n", len(m.Keys()))
+	default:
+		return fmt.Errorf("unknown query %q", query)
+	}
+	return run(query, paths[0], paths[1])
+}

@@ -1,0 +1,61 @@
+// Command figures regenerates the paper's figures and tables as aligned
+// text series.
+//
+// Usage:
+//
+//	figures            # all figures
+//	figures -fig 4     # only Figure 4
+//	figures -fig 7 -scale 10 -n 32   # Figure 7 on a 10× smaller workload
+//
+// Figure ids: 1, 2, 3, 4, 5, 6, 7, 6.1 (the Theorem 6.1 report), ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1..7, 6.1, ablation, multiperiod, or all")
+	scale := flag.Int("scale", 1, "figure 7 workload scale-down factor")
+	n := flag.Int("n", 64, "figure 7 per-key integration intervals")
+	flag.Parse()
+
+	var tables []*experiments.Table
+	switch *fig {
+	case "all":
+		tables = experiments.All()
+	case "1":
+		tables = experiments.Figure1()
+	case "2":
+		tables = []*experiments.Table{experiments.Figure2()}
+	case "3":
+		tables = []*experiments.Table{experiments.Figure3()}
+	case "4":
+		tables = experiments.Figure4()
+	case "5":
+		tables = experiments.Figure5()
+	case "6":
+		tables = experiments.Figure6()
+	case "7":
+		tables = []*experiments.Table{experiments.Figure7(experiments.Figure7Options{
+			ScaleDown:    *scale,
+			IntegrationN: *n,
+		})}
+	case "6.1":
+		tables = []*experiments.Table{experiments.Theorem61()}
+	case "ablation":
+		tables = experiments.Ablation()
+	case "multiperiod":
+		tables = []*experiments.Table{experiments.MultiPeriod()}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+	}
+}

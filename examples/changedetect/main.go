@@ -1,0 +1,110 @@
+// Change detection across sensor snapshots: use multi-instance estimators
+// to monitor a fleet of sensors from independently transmitted samples.
+//
+// Each snapshot is sampled on the sensor side (saving battery/bandwidth —
+// the paper's dispersed-data constraint) with reproducible seeds. The
+// monitoring station later answers two kinds of queries from the samples:
+//
+//   - activity: how many sensors reported a positive value in either of
+//     two rounds (distinct count via OR estimators);
+//   - drift: the max-dominance norm between rounds, whose growth against a
+//     single round's total signals upward drift.
+//
+// It also contrasts independent sampling with coordinated (shared-seed)
+// sampling: coordination makes similar snapshots produce similar samples,
+// which pays off for multi-instance queries (§7.2).
+//
+// Run with: go run ./examples/changedetect
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/simdata"
+	"repro/internal/stats"
+)
+
+func main() {
+	const sensors = 5000
+	m := simdata.SensorSnapshots(sensors, 4, 0.35, 12)
+	fmt.Printf("fleet: %d sensors, 4 rounds, drifting readings\n\n", sensors)
+
+	// Activity across rounds 1 and 4 (binary view: reading ≥ 50).
+	active := func(in dataset.Instance) map[dataset.Key]bool {
+		out := make(map[dataset.Key]bool)
+		for h, v := range in {
+			if v >= 50 {
+				out[h] = true
+			}
+		}
+		return out
+	}
+	a1, a4 := active(m.Instances[0]), active(m.Instances[3])
+	truthUnion := 0.0
+	seen := map[dataset.Key]bool{}
+	for h := range a1 {
+		seen[h] = true
+		truthUnion++
+	}
+	for h := range a4 {
+		if !seen[h] {
+			truthUnion++
+		}
+	}
+	s := core.NewSummarizer(99)
+	d, err := core.DistinctCount(s.SummarizeSet(0, a1, 0.1), s.SummarizeSet(3, a4, 0.1), nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sensors ≥50 in round 1 or 4: truth %g, HT %.0f, L %.0f (p=0.1)\n\n", truthUnion, d.HT, d.L)
+
+	// Drift: Σmax between round pairs vs the base round total. A ratio
+	// well above 1 on (1, t) indicates upward drift by round t.
+	base := m.Instances[0].Total()
+	for t := 1; t < 4; t++ {
+		sum1 := s.SummarizePPSExpectedSize(0, m.Instances[0], 400)
+		sumT := s.SummarizePPSExpectedSize(t, m.Instances[t], 400)
+		est, err := core.MaxDominance(sum1, sumT, nil)
+		if err != nil {
+			panic(err)
+		}
+		truth := dataset.NewMatrix(m.Instances[0], m.Instances[t]).SumAggregate(dataset.Max, nil)
+		fmt.Printf("rounds (1,%d): Σmax truth %.4g, L estimate %.4g, drift index %.3f\n",
+			t+1, truth, est.L, est.L/base)
+	}
+
+	// Coordinated vs independent sampling: sample overlap between rounds.
+	fmt.Println("\nsample overlap between consecutive rounds (400 keys each):")
+	indep := core.NewSummarizer(7)
+	coord := core.NewCoordinatedSummarizer(7)
+	for _, mode := range []struct {
+		name string
+		s    *core.Summarizer
+	}{{"independent", indep}, {"coordinated", coord}} {
+		x := mode.s.SummarizePPSExpectedSize(0, m.Instances[0], 400)
+		y := mode.s.SummarizePPSExpectedSize(1, m.Instances[1], 400)
+		overlap := 0
+		for h := range x.Sample.Values {
+			if _, ok := y.Sample.Values[h]; ok {
+				overlap++
+			}
+		}
+		fmt.Printf("  %-12s %d / %d keys shared\n", mode.name, overlap, x.Len())
+	}
+	fmt.Println("\ncoordination concentrates the sample on the same keys, which is why")
+	fmt.Println("shared-seed schemes boost multi-instance estimates — at the price of")
+	fmt.Println("unbalanced per-sensor transmission load (§7.2).")
+
+	// A small accuracy comparison on a decomposable query (single-round
+	// subset sum), where coordination is neutral.
+	var w stats.Welford
+	truthTotal := m.Instances[0].Total()
+	for salt := uint64(0); salt < 500; salt++ {
+		sz := core.NewSummarizer(salt)
+		w.Add(sz.SummarizePPSExpectedSize(0, m.Instances[0], 400).SubsetSum(nil))
+	}
+	fmt.Printf("\nround-1 total: truth %.4g, PPS subset-sum mean %.4g (cv %.3f)\n",
+		truthTotal, w.Mean(), w.CV())
+}

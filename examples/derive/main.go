@@ -1,0 +1,108 @@
+// Derive your own estimator. The paper's conclusion hopes that "tedious
+// derivations of estimators can be replaced by automated tools" — this
+// example is that tool in action.
+//
+// We pick a function the paper gives no closed form for — the SECOND
+// largest of three entries (a quantile with 1 < ℓ < r, for which plain HT
+// is provably suboptimal, §4) — and derive estimators for it on a
+// discrete domain with the generic engines:
+//
+//   - Algorithm 1 (plain order-based f̂(≺)) under the dense-first order:
+//     unbiased but NOT nonnegative here, demonstrating why the paper
+//     develops the constrained constructions;
+//   - f̂(+≺): the same order with the nonnegativity constraints (9)
+//     enforced by a small QP;
+//   - Algorithm 2 (f̂(U)): sparse-first batches, symmetric and nonnegative.
+//
+// Run with: go run ./examples/derive
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/estimator"
+)
+
+func main() {
+	second := func(v []float64) float64 {
+		s := append([]float64(nil), v...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+		return s[1]
+	}
+	prob := estimator.DiscreteProblem{
+		P:       []float64{0.4, 0.4, 0.4},
+		Domains: [][]float64{{0, 1, 2}, {0, 1, 2}, {0, 1, 2}},
+		F:       second,
+		Less:    estimator.MaxLOrder, // dense-first order, as for max^(L)
+	}
+
+	fmt.Println("deriving estimators for the 2nd-largest of 3 entries, p=0.4, domain {0,1,2}³")
+
+	plain, err := estimator.Derive(prob)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nAlgorithm 1, dense-first:  min estimate %.4g → NOT nonnegative;\n", plain.MinEstimate)
+	fmt.Println("  (unbiased, but a negative estimator is outside the §2.1 desiderata —")
+	fmt.Println("   this is the failure mode that motivates f̂(+≺) and f̂(U).)")
+
+	dense, err := estimator.DerivePlus(prob)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nf̂(+≺), dense-first:       %d outcomes, min estimate %.4g (nonnegative: %v)\n",
+		dense.Len(), dense.MinEstimate, dense.Nonnegative())
+
+	sparse, err := estimator.DeriveU(estimator.DiscreteProblem{
+		P: prob.P, Domains: prob.Domains, F: prob.F, Less: estimator.SparseOrder,
+	}, estimator.PositivesBatch)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Algorithm 2, sparse-first: %d outcomes, min estimate %.4g (nonnegative: %v)\n",
+		sparse.Len(), sparse.MinEstimate, sparse.Nonnegative())
+
+	ht := func(o estimator.ObliviousOutcome) float64 {
+		return estimator.HTOblivious(o, second)
+	}
+	wrap := func(d *estimator.Derived) func(estimator.ObliviousOutcome) float64 {
+		return func(o estimator.ObliviousOutcome) float64 {
+			x, err := d.Estimate(o)
+			if err != nil {
+				panic(err)
+			}
+			return x
+		}
+	}
+
+	fmt.Println("\nexact variances (enumeration over all outcomes):")
+	fmt.Printf("%-10s %10s %14s %14s\n", "data", "HT", "dense f̂(+≺)", "sparse f̂(U)")
+	for _, v := range [][]float64{
+		{2, 2, 2}, {2, 2, 1}, {2, 1, 1}, {2, 1, 0}, {1, 1, 0}, {2, 2, 0}, {1, 0, 0},
+	} {
+		mean, varHT := estimator.ObliviousMoments(prob.P, v, ht)
+		if abs(mean-second(v)) > 1e-9 {
+			panic("HT biased?!")
+		}
+		meanD, varD := estimator.ObliviousMoments(prob.P, v, wrap(dense))
+		meanS, varS := estimator.ObliviousMoments(prob.P, v, wrap(sparse))
+		if abs(meanD-second(v)) > 1e-9 || abs(meanS-second(v)) > 1e-9 {
+			panic("derived estimator biased?!")
+		}
+		fmt.Printf("%-10s %10.4g %14.4g %14.4g\n",
+			fmt.Sprintf("(%g,%g,%g)", v[0], v[1], v[2]), varHT, varD, varS)
+	}
+
+	fmt.Println("\nBoth constrained estimators are unbiased, nonnegative, and far below HT")
+	fmt.Println("everywhere. Neither dominates the other — dense-first wins on fully")
+	fmt.Println("agreeing data, sparse-first on the rest — the same Pareto frontier the")
+	fmt.Println("paper constructs by hand for max and OR.")
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

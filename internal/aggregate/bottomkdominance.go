@@ -1,0 +1,64 @@
+package aggregate
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/estimator"
+	"repro/internal/sampling"
+	"repro/internal/xhash"
+)
+
+// Max-dominance from bottom-k (priority) samples. §8.2 notes the Figure 7
+// results "are same for priority sampling": conditioned on the (k+1)-st
+// smallest rank τ_r of each instance (rank conditioning, §7.1), a priority
+// sample behaves like a Poisson PPS sample with weight-scale threshold
+// τ* = 1/τ_r, so the per-key PPS estimators apply unchanged with the
+// conditioned thresholds.
+
+// EstimateMaxDominanceBottomK draws a bottom-k priority sample of each
+// instance (PPS ranks, hash-derived known seeds) and estimates
+// Σ max(v1(h), v2(h)) with the HT and L estimators under rank
+// conditioning.
+func EstimateMaxDominanceBottomK(m *dataset.Matrix, k int, seeder xhash.Seeder, sel func(dataset.Key) bool) (DominanceResult, error) {
+	if m.R() != 2 {
+		return DominanceResult{}, fmt.Errorf("aggregate: max dominance needs 2 instances, got %d", m.R())
+	}
+	seedFn := func(instance int) sampling.SeedFunc {
+		return func(h dataset.Key) float64 { return seeder.Seed(instance, uint64(h)) }
+	}
+	s1 := sampling.BottomK(m.Instances[0], k, sampling.PPS{}, seedFn(0))
+	s2 := sampling.BottomK(m.Instances[1], k, sampling.PPS{}, seedFn(1))
+	// Conditioned PPS thresholds: rank < τ_r ⟺ u/v < τ_r ⟺ v ≥ u/τ_r.
+	tau := []float64{1 / s1.Tau, 1 / s2.Tau}
+	res := DominanceResult{Sampled1: s1.Len(), Sampled2: s2.Len()}
+	seen := make(map[dataset.Key]bool)
+	consider := func(h dataset.Key) {
+		if seen[h] || (sel != nil && !sel(h)) {
+			return
+		}
+		seen[h] = true
+		o := estimator.PPSOutcome{
+			Tau:     tau,
+			U:       []float64{seeder.Seed(0, uint64(h)), seeder.Seed(1, uint64(h))},
+			Sampled: make([]bool, 2),
+			Values:  make([]float64, 2),
+		}
+		if v, ok := s1.Values[h]; ok {
+			o.Sampled[0], o.Values[0] = true, v
+		}
+		if v, ok := s2.Values[h]; ok {
+			o.Sampled[1], o.Values[1] = true, v
+		}
+		res.HT += estimator.MaxHTPPS(o)
+		res.L += estimator.MaxL2PPS(o)
+	}
+	for h := range s1.Values {
+		consider(h)
+	}
+	for h := range s2.Values {
+		consider(h)
+	}
+	res.Truth = m.SumAggregate(dataset.Max, sel)
+	return res, nil
+}

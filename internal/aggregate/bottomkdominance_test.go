@@ -1,0 +1,68 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/simdata"
+	"repro/internal/xhash"
+)
+
+// TestBottomKDominanceUnbiased verifies the §8.2 claim that the pipeline
+// works unchanged for priority samples: rank conditioning keeps both
+// estimators unbiased.
+func TestBottomKDominanceUnbiased(t *testing.T) {
+	m := simdata.Generate(simdata.TrafficConfig{
+		SharedKeys: 150, Only1: 50, Only2: 50,
+		Alpha: 1.4, MeanValue: 12, Jitter: 0.7, Seed: 23,
+	})
+	truth := m.SumAggregate(dataset.Max, nil)
+	const trials = 4000
+	var sumHT, sumL float64
+	for i := 0; i < trials; i++ {
+		res, err := EstimateMaxDominanceBottomK(m, 50, xhash.Seeder{Salt: uint64(i)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sampled1 != 50 || res.Sampled2 != 50 {
+			t.Fatalf("sample sizes %d, %d, want 50", res.Sampled1, res.Sampled2)
+		}
+		sumHT += res.HT
+		sumL += res.L
+	}
+	if got := sumHT / trials; math.Abs(got-truth)/truth > 0.05 {
+		t.Errorf("HT mean %v, want %v", got, truth)
+	}
+	if got := sumL / trials; math.Abs(got-truth)/truth > 0.03 {
+		t.Errorf("L mean %v, want %v", got, truth)
+	}
+}
+
+// TestBottomKDominanceLBeatsHT: the partial-information advantage holds
+// under priority sampling too, with a similar factor as Poisson PPS
+// (Figure 7's "results are same for priority sampling").
+func TestBottomKDominanceLBeatsHT(t *testing.T) {
+	m := simdata.Generate(simdata.ScaledTraffic(100))
+	truth := m.SumAggregate(dataset.Max, nil)
+	var mseHT, mseL float64
+	const trials = 2500
+	for i := 0; i < trials; i++ {
+		res, err := EstimateMaxDominanceBottomK(m, 40, xhash.Seeder{Salt: 31 + uint64(i)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mseHT += (res.HT - truth) * (res.HT - truth)
+		mseL += (res.L - truth) * (res.L - truth)
+	}
+	ratio := mseHT / mseL
+	if ratio < 1.8 {
+		t.Errorf("MSE ratio %v, expected ≈2.4–2.8 as with Poisson PPS", ratio)
+	}
+}
+
+func TestBottomKDominanceErrors(t *testing.T) {
+	if _, err := EstimateMaxDominanceBottomK(dataset.FigureFive(), 3, xhash.Seeder{}, nil); err == nil {
+		t.Error("expected error for r≠2")
+	}
+}

@@ -1,0 +1,91 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/xhash"
+)
+
+func TestCoordinatedDistinctUnbiased(t *testing.T) {
+	sets, union := multiSets(3, 500, 0.4)
+	const p = 0.2
+	const trials = 5000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < trials; i++ {
+		est, _, err := CoordinatedDistinct(sets, p, xhash.Seeder{Salt: uint64(i), Shared: true}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est
+		sum2 += est * est
+	}
+	mean := sum / trials
+	if math.Abs(mean-union)/union > 0.02 {
+		t.Errorf("mean %v, want %v", mean, union)
+	}
+	// Variance matches the closed form d(1/p−1).
+	mcVar := sum2/trials - mean*mean
+	want := VarCoordinatedDistinct(union, p)
+	if math.Abs(mcVar-want)/want > 0.1 {
+		t.Errorf("variance %v, closed form %v", mcVar, want)
+	}
+}
+
+// TestCoordinationVsIndependence pins the §7.2 trade-off precisely.
+// Coordination turns the per-key outcome into "all or nothing" (variance
+// d(1/p−1)), which always beats the independent-sample HT estimator
+// (d(1/p²−1)) and beats the independent L estimator in the aggressive-
+// sampling regime (small p) and on dissimilar sets. But on highly similar
+// sets, *independent* sampling gives each union key up to two chances to
+// be sampled, and the L estimator exploits both: at J=1 its variance
+// d(1/(2p−p²)−1) is strictly below the coordinated d(1/p−1). Coordination
+// is a boost, not a free lunch.
+func TestCoordinationVsIndependence(t *testing.T) {
+	const d = 1000.0
+	for _, p := range []float64{0.05, 0.2, 0.5} {
+		coord := VarCoordinatedDistinct(d, p)
+		e := DistinctEstimator{P1: p, P2: p}
+		if ht := e.VarHT(d); coord > ht {
+			t.Errorf("p=%v: coordinated %v above independent HT %v", p, coord, ht)
+		}
+		// Disjoint sets, small p: coordination wins (1/p vs ≈1/(4p²)).
+		if p <= 0.2 {
+			if indep := e.VarL(d, 0); coord > indep+1e-9 {
+				t.Errorf("p=%v J=0: coordinated %v above independent L %v", p, coord, indep)
+			}
+		}
+		// Identical sets: independent L wins at every p.
+		if indep := e.VarL(d, 1); indep > coord+1e-9 {
+			t.Errorf("p=%v J=1: independent L %v above coordinated %v", p, indep, coord)
+		}
+	}
+}
+
+func TestCoordinatedDistinctErrors(t *testing.T) {
+	sets := []map[dataset.Key]bool{{1: true}}
+	if _, _, err := CoordinatedDistinct(sets, 0.5, xhash.Seeder{Salt: 1}, nil); err == nil {
+		t.Error("expected error for non-shared seeder")
+	}
+	if _, _, err := CoordinatedDistinct(sets, 0, xhash.Seeder{Salt: 1, Shared: true}, nil); err == nil {
+		t.Error("expected error for p=0")
+	}
+}
+
+func TestCoordinatedDistinctSelection(t *testing.T) {
+	sets, _ := multiSets(2, 1000, 1)
+	even := func(h dataset.Key) bool { return h%2 == 0 }
+	const trials = 3000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		est, _, err := CoordinatedDistinct(sets, 0.3, xhash.Seeder{Salt: 99 + uint64(i), Shared: true}, even)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est
+	}
+	if mean := sum / trials; math.Abs(mean-500)/500 > 0.03 {
+		t.Errorf("selected mean %v, want 500", mean)
+	}
+}

@@ -1,0 +1,226 @@
+// Package aggregate implements the paper's sum-aggregate estimators (§7,
+// §8): linear per-key estimates summed over selected keys. It covers
+// distinct counting over two independently sampled sets with known seeds
+// (§8.1), the max-dominance norm over independent PPS samples (§8.2), and
+// the sample-size analysis behind Figure 6.
+package aggregate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/estimator"
+	"repro/internal/stats"
+	"repro/internal/xhash"
+)
+
+// Category classifies a key's outcome when two binary instances are
+// sampled independently with known seeds (§8.1). The subscripts follow the
+// paper: 1 means "known to be in the set", 0 means "known to be out",
+// ? means "unknown" (the seed exceeded the sampling threshold, so absence
+// from the sample carries no information).
+type Category int
+
+// Categories of §8.1.
+const (
+	// CatNone: not sampled anywhere and no seed reveals anything — or the
+	// seeds reveal the key is in neither set. Estimate 0 either way.
+	CatNone Category = iota
+	// Cat1Q: in sample 1; seed 2 above threshold (membership 2 unknown).
+	Cat1Q
+	// CatQ1: in sample 2; seed 1 above threshold (membership 1 unknown).
+	CatQ1
+	// Cat11: in both samples.
+	Cat11
+	// Cat10: in sample 1; seed 2 below threshold, so absence from sample 2
+	// proves non-membership in set 2.
+	Cat10
+	// Cat01: in sample 2; seed 1 proves non-membership in set 1.
+	Cat01
+)
+
+// Categorize classifies one key given its sample memberships, seeds, and
+// per-instance sampling probabilities.
+func Categorize(inS1, inS2 bool, u1, u2, p1, p2 float64) Category {
+	switch {
+	case inS1 && inS2:
+		return Cat11
+	case inS1 && u2 > p2:
+		return Cat1Q
+	case inS1:
+		return Cat10
+	case inS2 && u1 > p1:
+		return CatQ1
+	case inS2:
+		return Cat01
+	default:
+		return CatNone
+	}
+}
+
+// DistinctCounts tallies the §8.1 categories over the selected keys.
+type DistinctCounts struct {
+	F1Q, FQ1, F11, F10, F01 int
+}
+
+// Add increments the tally for one categorized key.
+func (c *DistinctCounts) Add(cat Category) {
+	switch cat {
+	case Cat1Q:
+		c.F1Q++
+	case CatQ1:
+		c.FQ1++
+	case Cat11:
+		c.F11++
+	case Cat10:
+		c.F10++
+	case Cat01:
+		c.F01++
+	}
+}
+
+// Sampled returns the number of keys present in at least one sample.
+func (c *DistinctCounts) Sampled() int {
+	return c.F1Q + c.FQ1 + c.F11 + c.F10 + c.F01
+}
+
+// DistinctEstimator estimates D = |(N1 ∪ N2) ∩ A| from the category
+// counts, for sampling probabilities P1, P2.
+type DistinctEstimator struct {
+	P1, P2 float64
+}
+
+// HT is the inverse-probability estimate D̂^(HT) of §8.1: only keys whose
+// membership in both sets is fully determined contribute.
+func (e DistinctEstimator) HT(c DistinctCounts) float64 {
+	return float64(c.F11+c.F10+c.F01) / (e.P1 * e.P2)
+}
+
+// L is the partial-information estimate D̂^(L) of §8.1, the sum-aggregate
+// of the per-key OR^(L) estimator.
+func (e DistinctEstimator) L(c DistinctCounts) float64 {
+	q := e.P1 + e.P2 - e.P1*e.P2
+	return float64(c.F1Q+c.FQ1+c.F11)/q +
+		float64(c.F10)/(e.P1*q) +
+		float64(c.F01)/(e.P2*q)
+}
+
+// U is the sum-aggregate of the per-key OR^(U) estimator, which favours
+// "change" keys (present in only one instance). Not derived in §8.1 but a
+// direct consequence of §5.1.
+func (e DistinctEstimator) U(c DistinctCounts) float64 {
+	cc := math.Max(0, 1-e.P1-e.P2)
+	both := (1 - ((1-e.P2)+(1-e.P1))/(1+cc)) / (e.P1 * e.P2)
+	with1 := (1 - (1-e.P2)/(1+cc)) / (e.P1 * e.P2) // v2 revealed 0
+	with2 := (1 - (1-e.P1)/(1+cc)) / (e.P1 * e.P2) // v1 revealed 0
+	return float64(c.F1Q)/(e.P1*(1+cc)) +
+		float64(c.FQ1)/(e.P2*(1+cc)) +
+		float64(c.F11)*both +
+		float64(c.F10)*with1 +
+		float64(c.F01)*with2
+}
+
+// VarHT returns VAR[D̂^(HT)] = D(1/(p1p2) − 1) for a union of size D
+// (§8.1).
+func (e DistinctEstimator) VarHT(d float64) float64 {
+	return d * (1/(e.P1*e.P2) - 1)
+}
+
+// VarL returns VAR[D̂^(L)] for a union of size D and Jaccard coefficient J
+// (§8.1): D·J·VAR[OR^L|(1,1)] + D(1−J)·VAR[OR^L|(1,0)].
+func (e DistinctEstimator) VarL(d, j float64) float64 {
+	return d*j*estimator.VarORL11(e.P1, e.P2) + d*(1-j)*estimator.VarORL10(e.P1, e.P2)
+}
+
+// EstimateDistinct runs the full §8.1 pipeline: sample both sets with
+// independent known seeds, categorize the union of samples, and return the
+// counts. Keys are filtered by sel (nil selects all).
+func EstimateDistinct(n1, n2 map[dataset.Key]bool, p1, p2 float64, seeder xhash.Seeder, sel func(dataset.Key) bool) DistinctCounts {
+	inSample := func(instance int, members map[dataset.Key]bool, p float64, h dataset.Key) bool {
+		return members[h] && seeder.Seed(instance, uint64(h)) < p
+	}
+	var c DistinctCounts
+	seen := make(map[dataset.Key]bool)
+	consider := func(h dataset.Key) {
+		if seen[h] || (sel != nil && !sel(h)) {
+			return
+		}
+		seen[h] = true
+		s1 := inSample(0, n1, p1, h)
+		s2 := inSample(1, n2, p2, h)
+		if !s1 && !s2 {
+			return
+		}
+		u1 := seeder.Seed(0, uint64(h))
+		u2 := seeder.Seed(1, uint64(h))
+		c.Add(Categorize(s1, s2, u1, u2, p1, p2))
+	}
+	for h := range n1 {
+		consider(h)
+	}
+	for h := range n2 {
+		consider(h)
+	}
+	return c
+}
+
+// RequiredPHT returns the sampling probability p (p1 = p2 = p) needed for
+// the HT distinct-count estimator to reach coefficient of variation cv on
+// two sets of size n with Jaccard coefficient j (Figure 6 analysis):
+// cv² = (1/p² − 1)/N with N = 2n/(1+j).
+func RequiredPHT(n, j, cv float64) float64 {
+	bigN := 2 * n / (1 + j)
+	p := 1 / math.Sqrt(cv*cv*bigN+1)
+	return math.Min(1, p)
+}
+
+// RequiredPL returns the sampling probability needed by the L estimator for
+// the same target, solved by bisection on the exact per-key variances.
+func RequiredPL(n, j, cv float64) float64 {
+	bigN := 2 * n / (1 + j)
+	cvAt := func(p float64) float64 {
+		e := DistinctEstimator{P1: p, P2: p}
+		return math.Sqrt(e.VarL(bigN, j)) / bigN
+	}
+	if cvAt(1) > cv {
+		return 1
+	}
+	// cv(p) decreases in p; find the crossing.
+	return stats.Bisect(1e-12, 1, 200, func(p float64) float64 {
+		return cv - cvAt(p) // negative while cv(p) > target
+	})
+}
+
+// SampleSizePoint is one point of the Figure 6 curves: the expected
+// per-instance sample size s = p·n required to hit the target cv.
+type SampleSizePoint struct {
+	N     float64
+	SHT   float64
+	SL    float64
+	Ratio float64
+}
+
+// SampleSizeCurve evaluates the required sample sizes over a range of set
+// sizes for a fixed Jaccard coefficient and cv target.
+func SampleSizeCurve(ns []float64, j, cv float64) []SampleSizePoint {
+	out := make([]SampleSizePoint, 0, len(ns))
+	for _, n := range ns {
+		pht := RequiredPHT(n, j, cv)
+		pl := RequiredPL(n, j, cv)
+		pt := SampleSizePoint{N: n, SHT: pht * n, SL: pl * n}
+		if pt.SHT > 0 {
+			pt.Ratio = pt.SL / pt.SHT
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// Validate checks the estimator's probabilities.
+func (e DistinctEstimator) Validate() error {
+	if !(e.P1 > 0 && e.P1 <= 1 && e.P2 > 0 && e.P2 <= 1) {
+		return fmt.Errorf("aggregate: sampling probabilities (%v, %v) outside (0,1]", e.P1, e.P2)
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/estimator"
+	"repro/internal/xhash"
+)
+
+func TestCategorize(t *testing.T) {
+	p1, p2 := 0.4, 0.6
+	cases := []struct {
+		inS1, inS2 bool
+		u1, u2     float64
+		want       Category
+	}{
+		{true, true, 0.1, 0.2, Cat11},
+		{true, false, 0.1, 0.9, Cat1Q}, // u2 > p2: membership 2 unknown
+		{true, false, 0.1, 0.3, Cat10}, // u2 ≤ p2: v2 revealed 0
+		{false, true, 0.9, 0.2, CatQ1}, // u1 > p1
+		{false, true, 0.3, 0.2, Cat01}, // u1 ≤ p1
+		{false, false, 0.9, 0.9, CatNone},
+		{false, false, 0.1, 0.1, CatNone},
+	}
+	for _, c := range cases {
+		if got := Categorize(c.inS1, c.inS2, c.u1, c.u2, p1, p2); got != c.want {
+			t.Errorf("Categorize(%v,%v,%v,%v) = %v, want %v", c.inS1, c.inS2, c.u1, c.u2, got, c.want)
+		}
+	}
+}
+
+// TestDistinctEstimatesMatchPerKeyOR: the aggregate formulas are the sums
+// of the per-key OR estimators.
+func TestDistinctEstimatesMatchPerKeyOR(t *testing.T) {
+	p1, p2 := 0.3, 0.7
+	e := DistinctEstimator{P1: p1, P2: p2}
+	perKey := func(cat Category) (ht, l, u float64) {
+		var o estimator.BinaryKnownSeedsOutcome
+		switch cat {
+		case Cat1Q:
+			o = estimator.BinaryKnownSeedsOutcome{P: []float64{p1, p2}, U: []float64{p1 / 2, (1 + p2) / 2}, Sampled: []bool{true, false}}
+		case CatQ1:
+			o = estimator.BinaryKnownSeedsOutcome{P: []float64{p1, p2}, U: []float64{(1 + p1) / 2, p2 / 2}, Sampled: []bool{false, true}}
+		case Cat11:
+			o = estimator.BinaryKnownSeedsOutcome{P: []float64{p1, p2}, U: []float64{p1 / 2, p2 / 2}, Sampled: []bool{true, true}}
+		case Cat10:
+			o = estimator.BinaryKnownSeedsOutcome{P: []float64{p1, p2}, U: []float64{p1 / 2, p2 / 2}, Sampled: []bool{true, false}}
+		case Cat01:
+			o = estimator.BinaryKnownSeedsOutcome{P: []float64{p1, p2}, U: []float64{p1 / 2, p2 / 2}, Sampled: []bool{false, true}}
+		}
+		return estimator.ORHTKnownSeeds(o), estimator.ORLKnownSeeds(o), estimator.ORUKnownSeeds(o)
+	}
+	for _, cat := range []Category{Cat1Q, CatQ1, Cat11, Cat10, Cat01} {
+		var c DistinctCounts
+		c.Add(cat)
+		ht, l, u := perKey(cat)
+		if got := e.HT(c); math.Abs(got-ht) > 1e-12 {
+			t.Errorf("cat %v: aggregate HT %v, per-key %v", cat, got, ht)
+		}
+		if got := e.L(c); math.Abs(got-l) > 1e-12 {
+			t.Errorf("cat %v: aggregate L %v, per-key %v", cat, got, l)
+		}
+		if got := e.U(c); math.Abs(got-u) > 1e-12 {
+			t.Errorf("cat %v: aggregate U %v, per-key %v", cat, got, u)
+		}
+	}
+}
+
+// TestEstimateDistinctUnbiased: Monte Carlo over hash salts.
+func TestEstimateDistinctUnbiased(t *testing.T) {
+	n1 := make(map[dataset.Key]bool)
+	n2 := make(map[dataset.Key]bool)
+	for k := dataset.Key(1); k <= 300; k++ {
+		if k <= 200 {
+			n1[k] = true
+		}
+		if k > 100 {
+			n2[k] = true
+		}
+	}
+	const union = 300
+	p1, p2 := 0.25, 0.4
+	e := DistinctEstimator{P1: p1, P2: p2}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	const trials = 4000
+	var sumHT, sumL, sumU float64
+	for i := 0; i < trials; i++ {
+		seeder := xhash.Seeder{Salt: uint64(i)}
+		c := EstimateDistinct(n1, n2, p1, p2, seeder, nil)
+		sumHT += e.HT(c)
+		sumL += e.L(c)
+		sumU += e.U(c)
+	}
+	for name, got := range map[string]float64{"HT": sumHT / trials, "L": sumL / trials, "U": sumU / trials} {
+		if math.Abs(got-union)/union > 0.02 {
+			t.Errorf("%s mean %v, want %v", name, got, union)
+		}
+	}
+}
+
+// TestDistinctVarianceFormulas: the closed-form variances match Monte
+// Carlo.
+func TestDistinctVarianceFormulas(t *testing.T) {
+	n1 := make(map[dataset.Key]bool)
+	n2 := make(map[dataset.Key]bool)
+	for k := dataset.Key(1); k <= 400; k++ {
+		if k <= 250 {
+			n1[k] = true
+		}
+		if k > 150 {
+			n2[k] = true
+		}
+	}
+	union, inter := 400.0, 100.0
+	j := inter / union
+	p := 0.3
+	e := DistinctEstimator{P1: p, P2: p}
+	const trials = 6000
+	var ht, l []float64
+	for i := 0; i < trials; i++ {
+		seeder := xhash.Seeder{Salt: 7777 + uint64(i)}
+		c := EstimateDistinct(n1, n2, p, p, seeder, nil)
+		ht = append(ht, e.HT(c))
+		l = append(l, e.L(c))
+	}
+	varOf := func(xs []float64) float64 {
+		var m, m2 float64
+		for _, x := range xs {
+			m += x
+		}
+		m /= float64(len(xs))
+		for _, x := range xs {
+			m2 += (x - m) * (x - m)
+		}
+		return m2 / float64(len(xs))
+	}
+	if got, want := varOf(ht), e.VarHT(union); math.Abs(got-want)/want > 0.08 {
+		t.Errorf("VarHT: MC %v, formula %v", got, want)
+	}
+	if got, want := varOf(l), e.VarL(union, j); math.Abs(got-want)/want > 0.08 {
+		t.Errorf("VarL: MC %v, formula %v", got, want)
+	}
+	// L dominates HT.
+	if e.VarL(union, j) > e.VarHT(union) {
+		t.Errorf("VarL %v > VarHT %v", e.VarL(union, j), e.VarHT(union))
+	}
+}
+
+// TestRequiredSampleSizes reproduces the Figure 6 headline: the L estimator
+// needs up to 2× fewer samples, and for J > 0 its required p approaches a
+// constant as n grows (constant sample size for fixed cv).
+func TestRequiredSampleSizes(t *testing.T) {
+	cv := 0.1
+	for _, j := range []float64{0, 0.5, 0.9, 1} {
+		for _, n := range []float64{1e3, 1e6, 1e9} {
+			pht := RequiredPHT(n, j, cv)
+			pl := RequiredPL(n, j, cv)
+			if pl > pht*(1+1e-9) {
+				t.Errorf("J=%v n=%v: L needs more samples than HT (%v > %v)", j, n, pl, pht)
+			}
+			// Verify the solved p actually achieves the target cv.
+			bigN := 2 * n / (1 + j)
+			e := DistinctEstimator{P1: pht, P2: pht}
+			if gotCV := math.Sqrt(e.VarHT(bigN)) / bigN; pht < 1 && math.Abs(gotCV-cv) > 1e-6 {
+				t.Errorf("J=%v n=%v: HT cv at solved p = %v", j, n, gotCV)
+			}
+			el := DistinctEstimator{P1: pl, P2: pl}
+			if gotCV := math.Sqrt(el.VarL(bigN, j)) / bigN; pl < 1 && math.Abs(gotCV-cv) > 1e-6 {
+				t.Errorf("J=%v n=%v: L cv at solved p = %v", j, n, gotCV)
+			}
+		}
+	}
+	// Large-n asymptotics (§8.1): s(L)/s(HT) → √(1−J)/2 for J < 1, since
+	// the (1−J)/(4p²) variance term dominates once p < (1−J)/(2J).
+	for _, j := range []float64{0, 0.5, 0.9} {
+		pts := SampleSizeCurve([]float64{1e10}, j, cv)
+		want := math.Sqrt(1-j) / 2
+		if r := pts[0].Ratio; math.Abs(r-want) > 0.05*want+0.01 {
+			t.Errorf("J=%v ratio = %v, want ≈%v", j, r, want)
+		}
+	}
+	// J = 1: Θ(1) samples suffice for a fixed cv — the required sample
+	// size is the constant 1/(2cv²)+O(1) independent of n.
+	a := SampleSizeCurve([]float64{1e6}, 1, cv)[0].SL
+	b := SampleSizeCurve([]float64{1e10}, 1, cv)[0].SL
+	if math.Abs(a-b) > 0.01*a {
+		t.Errorf("J=1: sample size not constant (%v → %v)", a, b)
+	}
+	if want := 1 / (2 * cv * cv); math.Abs(b-want) > 0.05*want {
+		t.Errorf("J=1: sample size %v, want ≈%v", b, want)
+	}
+}
+
+// TestSelectionFilter: selection restricts the estimate to matching keys.
+func TestSelectionFilter(t *testing.T) {
+	n1 := map[dataset.Key]bool{}
+	n2 := map[dataset.Key]bool{}
+	for k := dataset.Key(1); k <= 1000; k++ {
+		n1[k] = true
+		n2[k] = true
+	}
+	even := func(h dataset.Key) bool { return h%2 == 0 }
+	e := DistinctEstimator{P1: 0.5, P2: 0.5}
+	const trials = 2000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		seeder := xhash.Seeder{Salt: 31 + uint64(i)}
+		c := EstimateDistinct(n1, n2, 0.5, 0.5, seeder, even)
+		sum += e.L(c)
+	}
+	if mean := sum / trials; math.Abs(mean-500)/500 > 0.03 {
+		t.Errorf("selected distinct mean %v, want 500", mean)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (DistinctEstimator{P1: 0, P2: 0.5}).Validate(); err == nil {
+		t.Error("expected error for p1=0")
+	}
+	if err := (DistinctEstimator{P1: 0.5, P2: 1.5}).Validate(); err == nil {
+		t.Error("expected error for p2>1")
+	}
+}

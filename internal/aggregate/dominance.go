@@ -1,0 +1,101 @@
+package aggregate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/estimator"
+	"repro/internal/sampling"
+	"repro/internal/xhash"
+)
+
+// DominanceResult holds the max-dominance estimates of §8.2 alongside the
+// ground truth and sample footprint.
+type DominanceResult struct {
+	// HT and L are the sum-aggregate estimates Σ_h max^(HT/L)(h).
+	HT, L float64
+	// Truth is the exact Σ_h max(v1(h), v2(h)) over the selected keys.
+	Truth float64
+	// Sampled1 and Sampled2 are the realized per-instance sample sizes.
+	Sampled1, Sampled2 int
+}
+
+// EstimateMaxDominance runs the §8.2 pipeline on a two-instance matrix:
+// draw an independent Poisson PPS sample of each instance with hash-derived
+// (known) seeds and thresholds tau1, tau2, then sum the per-key max^(HT)
+// and max^(L) estimates over keys selected by sel (nil selects all).
+//
+// Keys absent from both samples contribute 0 — their estimates are
+// identically zero, so the sums are computable from the samples alone.
+func EstimateMaxDominance(m *dataset.Matrix, tau1, tau2 float64, seeder xhash.Seeder, sel func(dataset.Key) bool) (DominanceResult, error) {
+	if m.R() != 2 {
+		return DominanceResult{}, fmt.Errorf("aggregate: max dominance needs 2 instances, got %d", m.R())
+	}
+	seedFn := func(instance int) sampling.SeedFunc {
+		return func(h dataset.Key) float64 { return seeder.Seed(instance, uint64(h)) }
+	}
+	s1 := sampling.PoissonPPS(m.Instances[0], tau1, seedFn(0))
+	s2 := sampling.PoissonPPS(m.Instances[1], tau2, seedFn(1))
+	res := DominanceResult{Sampled1: s1.Len(), Sampled2: s2.Len()}
+	tau := []float64{tau1, tau2}
+	seen := make(map[dataset.Key]bool)
+	consider := func(h dataset.Key) {
+		if seen[h] || (sel != nil && !sel(h)) {
+			return
+		}
+		seen[h] = true
+		o := estimator.PPSOutcome{
+			Tau:     tau,
+			U:       []float64{seeder.Seed(0, uint64(h)), seeder.Seed(1, uint64(h))},
+			Sampled: make([]bool, 2),
+			Values:  make([]float64, 2),
+		}
+		if v, ok := s1.Values[h]; ok {
+			o.Sampled[0], o.Values[0] = true, v
+		}
+		if v, ok := s2.Values[h]; ok {
+			o.Sampled[1], o.Values[1] = true, v
+		}
+		res.HT += estimator.MaxHTPPS(o)
+		res.L += estimator.MaxL2PPS(o)
+	}
+	for h := range s1.Values {
+		consider(h)
+	}
+	for h := range s2.Values {
+		consider(h)
+	}
+	res.Truth = m.SumAggregate(dataset.Max, sel)
+	return res, nil
+}
+
+// DominanceVariance computes the exact variance of the two sum-aggregate
+// estimators by per-key seed-space integration (estimates of different keys
+// are independent, so variances add). It returns (VAR[Σ max^HT],
+// VAR[Σ max^L], Σ max).
+func DominanceVariance(m *dataset.Matrix, tau1, tau2 float64, sel func(dataset.Key) bool, n int) (varHT, varL, total float64, err error) {
+	if m.R() != 2 {
+		return 0, 0, 0, fmt.Errorf("aggregate: max dominance needs 2 instances, got %d", m.R())
+	}
+	tau := []float64{tau1, tau2}
+	opt := estimator.PPSMomentsOptions{N: n, ZeroOnEmpty: true}
+	for _, h := range m.Keys() {
+		if sel != nil && !sel(h) {
+			continue
+		}
+		v := m.Vector(h)
+		_, vh := estimator.PPSMoments2(v, tau, estimator.MaxHTPPS, opt)
+		_, vl := estimator.PPSMoments2(v, tau, estimator.MaxL2PPS, opt)
+		varHT += vh
+		varL += vl
+		total += math.Max(v[0], v[1])
+	}
+	return varHT, varL, total, nil
+}
+
+// TauForFraction returns the PPS threshold that samples the given fraction
+// of an instance's keys in expectation.
+func TauForFraction(in dataset.Instance, fraction float64) float64 {
+	return sampling.TauForExpectedSize(in, fraction*float64(len(in)))
+}

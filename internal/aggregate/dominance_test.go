@@ -1,0 +1,125 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sampling"
+	"repro/internal/simdata"
+	"repro/internal/xhash"
+)
+
+// TestMaxDominanceUnbiased: both sum-aggregate estimators are unbiased over
+// hash salts.
+func TestMaxDominanceUnbiased(t *testing.T) {
+	m := simdata.Generate(simdata.TrafficConfig{
+		SharedKeys: 150, Only1: 60, Only2: 60,
+		Alpha: 1.4, MeanValue: 15, Jitter: 0.8, Seed: 4,
+	})
+	truth := m.SumAggregate(dataset.Max, nil)
+	tau1 := sampling.TauForExpectedSize(m.Instances[0], 40)
+	tau2 := sampling.TauForExpectedSize(m.Instances[1], 40)
+	const trials = 3000
+	var sumHT, sumL float64
+	for i := 0; i < trials; i++ {
+		res, err := EstimateMaxDominance(m, tau1, tau2, xhash.Seeder{Salt: uint64(i)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumHT += res.HT
+		sumL += res.L
+		if res.Truth != truth {
+			t.Fatalf("truth mismatch: %v vs %v", res.Truth, truth)
+		}
+	}
+	if got := sumHT / trials; math.Abs(got-truth)/truth > 0.05 {
+		t.Errorf("HT mean %v, want %v", got, truth)
+	}
+	if got := sumL / trials; math.Abs(got-truth)/truth > 0.03 {
+		t.Errorf("L mean %v, want %v", got, truth)
+	}
+}
+
+// TestDominanceVarianceMatchesMC: the per-key integration agrees with
+// Monte Carlo over salts.
+func TestDominanceVarianceMatchesMC(t *testing.T) {
+	m := simdata.Generate(simdata.TrafficConfig{
+		SharedKeys: 80, Only1: 30, Only2: 30,
+		Alpha: 1.5, MeanValue: 10, Jitter: 0.5, Seed: 11,
+	})
+	tau1 := sampling.TauForExpectedSize(m.Instances[0], 25)
+	tau2 := sampling.TauForExpectedSize(m.Instances[1], 25)
+	varHT, varL, total, err := DominanceVariance(m, tau1, tau2, nil, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != m.SumAggregate(dataset.Max, nil) {
+		t.Fatalf("total mismatch")
+	}
+	const trials = 5000
+	var whtM, whtM2, wlM, wlM2 float64
+	for i := 0; i < trials; i++ {
+		res, err := EstimateMaxDominance(m, tau1, tau2, xhash.Seeder{Salt: 999 + uint64(i)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		whtM += res.HT
+		whtM2 += res.HT * res.HT
+		wlM += res.L
+		wlM2 += res.L * res.L
+	}
+	whtM /= trials
+	wlM /= trials
+	mcVarHT := whtM2/trials - whtM*whtM
+	mcVarL := wlM2/trials - wlM*wlM
+	if math.Abs(mcVarHT-varHT)/varHT > 0.1 {
+		t.Errorf("HT variance: MC %v, integration %v", mcVarHT, varHT)
+	}
+	if math.Abs(mcVarL-varL)/varL > 0.1 {
+		t.Errorf("L variance: MC %v, integration %v", mcVarL, varL)
+	}
+	if varL > varHT {
+		t.Errorf("L variance %v exceeds HT %v", varL, varHT)
+	}
+}
+
+// TestDominanceSelection: selection restricts both the estimate and the
+// truth.
+func TestDominanceSelection(t *testing.T) {
+	m := dataset.NewMatrix(dataset.FigureFive().Instances[0], dataset.FigureFive().Instances[1])
+	even := func(h dataset.Key) bool { return h%2 == 0 }
+	res, err := EstimateMaxDominance(m, 1e-9, 1e-9, xhash.Seeder{Salt: 3}, even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With tau→0 everything is sampled and the estimate is exact: 40.
+	if math.Abs(res.HT-40) > 1e-6 || math.Abs(res.L-40) > 1e-6 {
+		t.Errorf("full-sampling estimates (%v, %v), want 40", res.HT, res.L)
+	}
+	if res.Truth != 40 {
+		t.Errorf("truth %v, want 40", res.Truth)
+	}
+}
+
+func TestDominanceErrors(t *testing.T) {
+	m := dataset.FigureFive() // 3 instances
+	if _, err := EstimateMaxDominance(m, 1, 1, xhash.Seeder{}, nil); err == nil {
+		t.Error("expected error for r≠2")
+	}
+	if _, _, _, err := DominanceVariance(m, 1, 1, nil, 16); err == nil {
+		t.Error("expected error for r≠2")
+	}
+}
+
+func TestTauForFraction(t *testing.T) {
+	in := simdata.Generate(simdata.ScaledTraffic(20)).Instances[0]
+	tau := TauForFraction(in, 0.1)
+	expected := 0.0
+	for _, v := range in {
+		expected += math.Min(1, v/tau)
+	}
+	if target := 0.1 * float64(len(in)); math.Abs(expected-target)/target > 1e-6 {
+		t.Errorf("expected sample size %v, want %v", expected, target)
+	}
+}

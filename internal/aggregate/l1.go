@@ -1,0 +1,112 @@
+package aggregate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/estimator"
+	"repro/internal/sampling"
+	"repro/internal/xhash"
+)
+
+// Min-dominance and L1 distance (§7): Σ min(v1, v2) and the Manhattan
+// distance Σ |v1 − v2|. Under weighted sampling, min(v(h)) is determined
+// exactly when both entries are sampled — and for any vector with a
+// positive minimum, that event has positive probability — so the
+// inverse-probability estimator exists and is Pareto optimal (a
+// nonnegative estimator must vanish on all other outcomes, §4).
+//
+// The L1 distance itself admits no nonnegative unbiased estimator over
+// weighted samples (the range argument of §2.3), but since
+// |v1 − v2| = max − min, the difference of the Σmax and Σmin estimators is
+// an unbiased — though possibly negative — estimate. That is what
+// L1Distance returns; the signedness is the price §2.3 proves unavoidable.
+
+// MinHTPPS is the per-key inverse-probability estimator of min(v1, v2)
+// under independent PPS sampling: positive only when both entries are
+// sampled.
+func MinHTPPS(o estimator.PPSOutcome) float64 {
+	if o.R() != 2 {
+		panic("aggregate: MinHTPPS requires r=2")
+	}
+	if !o.Sampled[0] || !o.Sampled[1] {
+		return 0
+	}
+	mn := math.Min(o.Values[0], o.Values[1])
+	if mn <= 0 {
+		return 0
+	}
+	p := math.Min(1, o.Values[0]/o.Tau[0]) * math.Min(1, o.Values[1]/o.Tau[1])
+	return mn / p
+}
+
+// MinDominanceResult carries a Σmin estimate with its ground truth.
+type MinDominanceResult struct {
+	HT       float64
+	Truth    float64
+	KeysUsed int
+}
+
+// EstimateMinDominance estimates Σ_{h∈sel} min(v1(h), v2(h)) from two
+// independent PPS samples with known seeds.
+func EstimateMinDominance(m *dataset.Matrix, tau1, tau2 float64, seeder xhash.Seeder, sel func(dataset.Key) bool) (MinDominanceResult, error) {
+	if m.R() != 2 {
+		return MinDominanceResult{}, fmt.Errorf("aggregate: min dominance needs 2 instances, got %d", m.R())
+	}
+	seedFn := func(instance int) sampling.SeedFunc {
+		return func(h dataset.Key) float64 { return seeder.Seed(instance, uint64(h)) }
+	}
+	s1 := sampling.PoissonPPS(m.Instances[0], tau1, seedFn(0))
+	s2 := sampling.PoissonPPS(m.Instances[1], tau2, seedFn(1))
+	var res MinDominanceResult
+	tau := []float64{tau1, tau2}
+	for h, v1 := range s1.Values {
+		v2, ok := s2.Values[h]
+		if !ok || (sel != nil && !sel(h)) {
+			continue
+		}
+		o := estimator.PPSOutcome{
+			Tau:     tau,
+			U:       []float64{seeder.Seed(0, uint64(h)), seeder.Seed(1, uint64(h))},
+			Sampled: []bool{true, true},
+			Values:  []float64{v1, v2},
+		}
+		res.HT += MinHTPPS(o)
+		res.KeysUsed++
+	}
+	res.Truth = m.SumAggregate(dataset.Min, sel)
+	return res, nil
+}
+
+// L1Result carries the decomposed L1 estimate.
+type L1Result struct {
+	// Estimate is Σmax(L) − Σmin(HT): unbiased for the L1 distance, but
+	// can be negative on unlucky draws (§2.3 proves no nonnegative
+	// unbiased estimator exists for this query over weighted samples).
+	Estimate float64
+	// MaxPart and MinPart are the two components.
+	MaxPart, MinPart float64
+	// Truth is the exact Σ|v1−v2| over the selected keys.
+	Truth float64
+}
+
+// EstimateL1Distance estimates the Manhattan distance between two
+// instances from their independent PPS samples with known seeds, via the
+// Σmax − Σmin decomposition.
+func EstimateL1Distance(m *dataset.Matrix, tau1, tau2 float64, seeder xhash.Seeder, sel func(dataset.Key) bool) (L1Result, error) {
+	maxRes, err := EstimateMaxDominance(m, tau1, tau2, seeder, sel)
+	if err != nil {
+		return L1Result{}, err
+	}
+	minRes, err := EstimateMinDominance(m, tau1, tau2, seeder, sel)
+	if err != nil {
+		return L1Result{}, err
+	}
+	return L1Result{
+		Estimate: maxRes.L - minRes.HT,
+		MaxPart:  maxRes.L,
+		MinPart:  minRes.HT,
+		Truth:    m.SumAggregate(dataset.Range, sel),
+	}, nil
+}

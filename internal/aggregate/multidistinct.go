@@ -1,0 +1,105 @@
+package aggregate
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/estimator"
+	"repro/internal/xhash"
+)
+
+// MultiDistinct estimates the number of distinct keys across r ≥ 2
+// independently sampled sets with known seeds and a uniform per-member
+// sampling probability p — the sum aggregate of the r-instance OR^(L)
+// estimator built on the Theorem 4.2 machinery (§7, §8.1 generalized
+// beyond two instances).
+type MultiDistinct struct {
+	p   float64
+	est *estimator.MaxLUniform
+}
+
+// NewMultiDistinct prepares the estimator for r instances at probability
+// p ∈ (0, 1].
+func NewMultiDistinct(r int, p float64) (*MultiDistinct, error) {
+	if r < 2 {
+		return nil, fmt.Errorf("aggregate: MultiDistinct needs r ≥ 2, got %d", r)
+	}
+	e, err := estimator.ORLUniform(r, p)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiDistinct{p: p, est: e}, nil
+}
+
+// R returns the number of instances.
+func (m *MultiDistinct) R() int { return m.est.R() }
+
+// EstimateResult carries the HT and L estimates of |N1 ∪ … ∪ Nr|.
+type EstimateResult struct {
+	HT, L float64
+	// Sampled is the number of distinct keys appearing in ≥1 sample.
+	Sampled int
+}
+
+// Estimate samples each set with the seeder's per-instance seeds
+// (membership sampled iff u_i(h) < p) and sums the per-key OR estimates
+// over keys selected by sel (nil selects all).
+//
+// The HT estimate generalizes §8.1: a key contributes 1/p^r exactly when
+// every seed is below p (all memberships determined) and at least one set
+// contains it.
+func (m *MultiDistinct) Estimate(sets []map[dataset.Key]bool, seeder xhash.Seeder, sel func(dataset.Key) bool) (EstimateResult, error) {
+	r := m.est.R()
+	if len(sets) != r {
+		return EstimateResult{}, fmt.Errorf("aggregate: estimator built for r=%d, got %d sets", r, len(sets))
+	}
+	var res EstimateResult
+	htCoeff := 1.0
+	for i := 0; i < r; i++ {
+		htCoeff *= m.p
+	}
+	seen := make(map[dataset.Key]bool)
+	consider := func(h dataset.Key) {
+		if seen[h] || (sel != nil && !sel(h)) {
+			return
+		}
+		seen[h] = true
+		// Per-key outcome: entry i is sampled (in the weighted binary
+		// sense) iff the key is in set i and its seed is below p.
+		o := estimator.BinaryKnownSeedsOutcome{
+			P:       make([]float64, r),
+			U:       make([]float64, r),
+			Sampled: make([]bool, r),
+		}
+		inAnySample := false
+		allSeedsLow := true
+		anyMember := false
+		for i := 0; i < r; i++ {
+			o.P[i] = m.p
+			o.U[i] = seeder.Seed(i, uint64(h))
+			member := sets[i][h]
+			o.Sampled[i] = member && o.U[i] < m.p
+			if o.Sampled[i] {
+				inAnySample = true
+				anyMember = true
+			}
+			if o.U[i] >= m.p {
+				allSeedsLow = false
+			}
+		}
+		if !inAnySample {
+			return
+		}
+		res.Sampled++
+		res.L += m.est.Estimate(o.ToOblivious())
+		if allSeedsLow && anyMember {
+			res.HT += 1 / htCoeff
+		}
+	}
+	for _, set := range sets {
+		for h := range set {
+			consider(h)
+		}
+	}
+	return res, nil
+}

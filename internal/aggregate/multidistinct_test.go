@@ -1,0 +1,134 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/xhash"
+)
+
+func multiSets(r, universe int, overlap float64) ([]map[dataset.Key]bool, float64) {
+	sets := make([]map[dataset.Key]bool, r)
+	for i := range sets {
+		sets[i] = make(map[dataset.Key]bool)
+	}
+	union := 0.0
+	for k := 1; k <= universe; k++ {
+		h := dataset.Key(k)
+		member := false
+		for i := 0; i < r; i++ {
+			// Deterministic membership pattern: a fraction `overlap` of
+			// keys is in every set; the rest round-robin across sets.
+			if float64(k) <= overlap*float64(universe) || k%r == i {
+				sets[i][h] = true
+				member = true
+			}
+		}
+		if member {
+			union++
+		}
+	}
+	return sets, union
+}
+
+// TestMultiDistinctUnbiased: the r-instance distinct count is unbiased for
+// r = 2, 3, 4.
+func TestMultiDistinctUnbiased(t *testing.T) {
+	for _, r := range []int{2, 3, 4} {
+		sets, union := multiSets(r, 600, 0.3)
+		md, err := NewMultiDistinct(r, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if md.R() != r {
+			t.Fatalf("R = %d", md.R())
+		}
+		const trials = 3000
+		var sumHT, sumL float64
+		for i := 0; i < trials; i++ {
+			res, err := md.Estimate(sets, xhash.Seeder{Salt: uint64(i)}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sumHT += res.HT
+			sumL += res.L
+		}
+		if got := sumHT / trials; math.Abs(got-union)/union > 0.05 {
+			t.Errorf("r=%d: HT mean %v, want %v", r, got, union)
+		}
+		if got := sumL / trials; math.Abs(got-union)/union > 0.03 {
+			t.Errorf("r=%d: L mean %v, want %v", r, got, union)
+		}
+	}
+}
+
+// TestMultiDistinctLBeatsHT: across replications the L estimator's MSE is
+// lower — and the gap widens with r (HT needs all r seeds low).
+func TestMultiDistinctLBeatsHT(t *testing.T) {
+	prevRatio := 0.0
+	for _, r := range []int{2, 3} {
+		sets, union := multiSets(r, 600, 0.5)
+		md, err := NewMultiDistinct(r, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mseHT, mseL float64
+		const trials = 2000
+		for i := 0; i < trials; i++ {
+			res, err := md.Estimate(sets, xhash.Seeder{Salt: 555 + uint64(i)}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mseHT += (res.HT - union) * (res.HT - union)
+			mseL += (res.L - union) * (res.L - union)
+		}
+		if mseL >= mseHT {
+			t.Errorf("r=%d: L MSE %v not below HT MSE %v", r, mseL/trials, mseHT/trials)
+		}
+		ratio := mseHT / mseL
+		if ratio < prevRatio {
+			t.Errorf("r=%d: advantage ratio %v below r-1's %v — expected growth with r", r, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+}
+
+func TestMultiDistinctErrors(t *testing.T) {
+	if _, err := NewMultiDistinct(1, 0.5); err == nil {
+		t.Error("expected error for r=1")
+	}
+	if _, err := NewMultiDistinct(3, 0); err == nil {
+		t.Error("expected error for p=0")
+	}
+	md, err := NewMultiDistinct(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, _ := multiSets(2, 10, 0.5)
+	if _, err := md.Estimate(sets, xhash.Seeder{}, nil); err == nil {
+		t.Error("expected error for mismatched set count")
+	}
+}
+
+// TestMultiDistinctSelection: selection filters keys.
+func TestMultiDistinctSelection(t *testing.T) {
+	sets, _ := multiSets(3, 900, 1) // every key in every set
+	md, err := NewMultiDistinct(3, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	even := func(h dataset.Key) bool { return h%2 == 0 }
+	const trials = 1500
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		res, err := md.Estimate(sets, xhash.Seeder{Salt: uint64(i) * 11}, even)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += res.L
+	}
+	if got := sum / trials; math.Abs(got-450)/450 > 0.03 {
+		t.Errorf("selected mean %v, want 450", got)
+	}
+}

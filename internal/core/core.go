@@ -1,0 +1,301 @@
+// Package core is the library's front door. It packages the paper's
+// workflow end to end:
+//
+//  1. each data instance (a snapshot, log period, or sensor round) is
+//     summarized *independently* of the others — the dispersed-data
+//     constraint of §2 — using weighted Poisson PPS sampling or bottom-k
+//     sampling with reproducible hash-derived seeds ("known seeds");
+//  2. any subset of the resulting summaries can later be combined to answer
+//     multi-instance queries — distinct counts, max-dominance norms,
+//     per-key quantile estimates — using the Pareto-optimal
+//     partial-information estimators of §4–§5 alongside the classical
+//     Horvitz–Thompson baselines.
+//
+// The underlying estimators live in internal/estimator, the sampling
+// substrates in internal/sampling; this package wires them together so
+// applications never handle seeds or outcome structures directly.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/aggregate"
+	"repro/internal/dataset"
+	"repro/internal/estimator"
+	"repro/internal/sampling"
+	"repro/internal/xhash"
+)
+
+// Summarizer holds the shared randomization: a salt defining the random
+// hash functions. Summaries produced with the same Summarizer can be
+// combined; the salt makes every seed reproducible, which is what enables
+// the partial-information estimators (§5).
+type Summarizer struct {
+	seeder xhash.Seeder
+}
+
+// NewSummarizer returns a Summarizer with independent per-instance seeds
+// (the joint distribution studied in §4–§6).
+func NewSummarizer(salt uint64) *Summarizer {
+	return &Summarizer{seeder: xhash.Seeder{Salt: salt}}
+}
+
+// NewCoordinatedSummarizer returns a Summarizer whose instances share
+// seeds (PRN coordination, §7.2): similar instances then receive similar
+// samples.
+func NewCoordinatedSummarizer(salt uint64) *Summarizer {
+	return &Summarizer{seeder: xhash.Seeder{Salt: salt, Shared: true}}
+}
+
+// Seeder exposes the underlying seed derivation (for advanced use and
+// tests).
+func (s *Summarizer) Seeder() xhash.Seeder { return s.seeder }
+
+// seedFunc adapts the seeder to one instance.
+func (s *Summarizer) seedFunc(instance int) sampling.SeedFunc {
+	return func(h dataset.Key) float64 { return s.seeder.Seed(instance, uint64(h)) }
+}
+
+// PPSSummary is a weighted Poisson PPS summary of a single instance: the
+// sampled keys with exact values, plus everything needed to recompute
+// inclusion probabilities and seeds.
+type PPSSummary struct {
+	// Instance is the index identifying this instance's hash salt.
+	Instance int
+	// Tau is the PPS threshold: key h was included iff v(h) ≥ u(h)·Tau.
+	Tau float64
+	// Sample holds the sampled keys and values.
+	Sample *sampling.WeightedSample
+
+	parent *Summarizer
+}
+
+// SummarizePPS draws the PPS summary of one instance with threshold tau
+// (inclusion probability min{1, v/tau}).
+func (s *Summarizer) SummarizePPS(instance int, in dataset.Instance, tau float64) *PPSSummary {
+	return &PPSSummary{
+		Instance: instance,
+		Tau:      tau,
+		Sample:   sampling.PoissonPPS(in, tau, s.seedFunc(instance)),
+		parent:   s,
+	}
+}
+
+// SummarizePPSExpectedSize draws a PPS summary sized to k expected keys.
+func (s *Summarizer) SummarizePPSExpectedSize(instance int, in dataset.Instance, k float64) *PPSSummary {
+	return s.SummarizePPS(instance, in, sampling.TauForExpectedSize(in, k))
+}
+
+// SubsetSum estimates the single-instance subset sum Σ_{h∈sel} v(h) from
+// the summary (nil sel selects all keys).
+func (p *PPSSummary) SubsetSum(sel func(dataset.Key) bool) float64 {
+	return p.Sample.SubsetSum(sel)
+}
+
+// Len returns the number of sampled keys.
+func (p *PPSSummary) Len() int { return p.Sample.Len() }
+
+// MaxDominanceEstimate is the result of a two-summary max-dominance query.
+type MaxDominanceEstimate struct {
+	// HT is the Horvitz–Thompson estimate (positive per-key contribution
+	// only when the maximum is certain).
+	HT float64
+	// L is the partial-information estimate Σ max^(L): Pareto optimal,
+	// dominating HT (§5.2, §8.2).
+	L float64
+	// KeysUsed is the number of distinct keys appearing in either sample.
+	KeysUsed int
+}
+
+// MaxDominance estimates Σ_{h∈sel} max(v1(h), v2(h)) from two PPS
+// summaries produced by the same Summarizer.
+func MaxDominance(s1, s2 *PPSSummary, sel func(dataset.Key) bool) (MaxDominanceEstimate, error) {
+	if s1.parent.seeder != s2.parent.seeder {
+		return MaxDominanceEstimate{}, fmt.Errorf("core: summaries use different randomizations")
+	}
+	if s1.Instance == s2.Instance {
+		return MaxDominanceEstimate{}, fmt.Errorf("core: max dominance needs two distinct instances")
+	}
+	tau := []float64{s1.Tau, s2.Tau}
+	seeder := s1.parent.seeder
+	var out MaxDominanceEstimate
+	seen := make(map[dataset.Key]bool)
+	consider := func(h dataset.Key) {
+		if seen[h] || (sel != nil && !sel(h)) {
+			return
+		}
+		seen[h] = true
+		o := estimator.PPSOutcome{
+			Tau: tau,
+			U: []float64{
+				seeder.Seed(s1.Instance, uint64(h)),
+				seeder.Seed(s2.Instance, uint64(h)),
+			},
+			Sampled: make([]bool, 2),
+			Values:  make([]float64, 2),
+		}
+		if v, ok := s1.Sample.Values[h]; ok {
+			o.Sampled[0], o.Values[0] = true, v
+		}
+		if v, ok := s2.Sample.Values[h]; ok {
+			o.Sampled[1], o.Values[1] = true, v
+		}
+		out.HT += estimator.MaxHTPPS(o)
+		out.L += estimator.MaxL2PPS(o)
+		out.KeysUsed++
+	}
+	for h := range s1.Sample.Values {
+		consider(h)
+	}
+	for h := range s2.Sample.Values {
+		consider(h)
+	}
+	return out, nil
+}
+
+// SetSummary is a summary of a binary instance (a set of active keys):
+// Poisson sampling with probability P over the members, with known seeds.
+type SetSummary struct {
+	// Instance is the index identifying this instance's hash salt.
+	Instance int
+	// P is the per-member sampling probability.
+	P float64
+	// Members holds the sampled keys.
+	Members map[dataset.Key]bool
+
+	parent *Summarizer
+}
+
+// SummarizeSet draws the known-seed Poisson summary of a set.
+func (s *Summarizer) SummarizeSet(instance int, members map[dataset.Key]bool, p float64) *SetSummary {
+	out := &SetSummary{Instance: instance, P: p, Members: make(map[dataset.Key]bool), parent: s}
+	for h := range members {
+		if s.seeder.Seed(instance, uint64(h)) < p {
+			out.Members[h] = true
+		}
+	}
+	return out
+}
+
+// Len returns the number of sampled members.
+func (s *SetSummary) Len() int { return len(s.Members) }
+
+// SummarizeSetBottomK draws a bottom-k summary of a set: the k members
+// with the smallest seeds, with P set to the (k+1)-st smallest member seed
+// (§8.1). Conditioned on that threshold, membership sampling behaves like
+// Poisson with probability P, so the same distinct-count estimators apply
+// (rank conditioning, §7.1). If the set has at most k members, the whole
+// set is kept with P = 1.
+func (s *Summarizer) SummarizeSetBottomK(instance int, members map[dataset.Key]bool, k int) *SetSummary {
+	if k <= 0 {
+		panic("core: SummarizeSetBottomK with non-positive k")
+	}
+	// Track the k+1 smallest seeds with a simple bounded insertion; k is
+	// a summary size, so k+1 linear scans are acceptable and allocation-
+	// free compared to a heap of tuples.
+	type seeded struct {
+		key  dataset.Key
+		seed float64
+	}
+	top := make([]seeded, 0, k+1)
+	for h := range members {
+		u := s.seeder.Seed(instance, uint64(h))
+		if len(top) < k+1 {
+			top = append(top, seeded{h, u})
+			for i := len(top) - 1; i > 0 && top[i].seed < top[i-1].seed; i-- {
+				top[i], top[i-1] = top[i-1], top[i]
+			}
+			continue
+		}
+		if u >= top[k].seed {
+			continue
+		}
+		top[k] = seeded{h, u}
+		for i := k; i > 0 && top[i].seed < top[i-1].seed; i-- {
+			top[i], top[i-1] = top[i-1], top[i]
+		}
+	}
+	out := &SetSummary{Instance: instance, P: 1, Members: make(map[dataset.Key]bool, k), parent: s}
+	if len(top) <= k {
+		for _, e := range top {
+			out.Members[e.key] = true
+		}
+		return out
+	}
+	out.P = top[k].seed
+	for _, e := range top[:k] {
+		out.Members[e.key] = true
+	}
+	return out
+}
+
+// DistinctEstimate is the result of a two-summary distinct-count query.
+type DistinctEstimate struct {
+	// HT and L are the §8.1 estimates of |N1 ∪ N2| over selected keys.
+	HT, L float64
+	// Counts are the outcome-category tallies behind the estimates.
+	Counts aggregate.DistinctCounts
+}
+
+// DistinctCount estimates the number of distinct selected keys across two
+// set summaries produced by the same Summarizer (§8.1).
+func DistinctCount(s1, s2 *SetSummary, sel func(dataset.Key) bool) (DistinctEstimate, error) {
+	if s1.parent.seeder != s2.parent.seeder {
+		return DistinctEstimate{}, fmt.Errorf("core: summaries use different randomizations")
+	}
+	if s1.Instance == s2.Instance {
+		return DistinctEstimate{}, fmt.Errorf("core: distinct count needs two distinct instances")
+	}
+	seeder := s1.parent.seeder
+	var c aggregate.DistinctCounts
+	seen := make(map[dataset.Key]bool)
+	consider := func(h dataset.Key) {
+		if seen[h] || (sel != nil && !sel(h)) {
+			return
+		}
+		seen[h] = true
+		c.Add(aggregate.Categorize(
+			s1.Members[h], s2.Members[h],
+			seeder.Seed(s1.Instance, uint64(h)),
+			seeder.Seed(s2.Instance, uint64(h)),
+			s1.P, s2.P,
+		))
+	}
+	for h := range s1.Members {
+		consider(h)
+	}
+	for h := range s2.Members {
+		consider(h)
+	}
+	e := aggregate.DistinctEstimator{P1: s1.P, P2: s2.P}
+	return DistinctEstimate{HT: e.HT(c), L: e.L(c), Counts: c}, nil
+}
+
+// BottomKSummary is a bottom-k (order) summary of one instance.
+type BottomKSummary struct {
+	// Instance is the index identifying this instance's hash salt.
+	Instance int
+	// Sample holds the k lowest-ranked keys and the conditioning threshold.
+	Sample *sampling.WeightedSample
+
+	parent *Summarizer
+}
+
+// SummarizeBottomK draws a bottom-k summary with the given rank family
+// (sampling.PPS{} for priority sampling, sampling.EXP{} for weighted
+// sampling without replacement).
+func (s *Summarizer) SummarizeBottomK(instance int, in dataset.Instance, k int, fam sampling.RankFamily) *BottomKSummary {
+	return &BottomKSummary{
+		Instance: instance,
+		Sample:   sampling.BottomK(in, k, fam, s.seedFunc(instance)),
+		parent:   s,
+	}
+}
+
+// SubsetSum estimates Σ_{h∈sel} v(h) with the rank-conditioning estimator.
+func (b *BottomKSummary) SubsetSum(sel func(dataset.Key) bool) float64 {
+	return b.Sample.SubsetSum(sel)
+}
+
+// Len returns the number of sampled keys.
+func (b *BottomKSummary) Len() int { return b.Sample.Len() }

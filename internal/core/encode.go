@@ -1,0 +1,135 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/sampling"
+	"repro/internal/xhash"
+)
+
+// Summaries are what a dispersed system actually ships: a sample plus the
+// metadata needed to recompute inclusion probabilities and seeds. This
+// file provides a stable JSON wire format so summaries can be transmitted
+// or archived and recombined later ("post hoc" estimation, §1).
+
+// ppsWire is the serialized form of a PPSSummary.
+type ppsWire struct {
+	Version  int                     `json:"version"`
+	Kind     string                  `json:"kind"`
+	Instance int                     `json:"instance"`
+	Tau      float64                 `json:"tau"`
+	Salt     uint64                  `json:"salt"`
+	Shared   bool                    `json:"shared"`
+	Values   map[dataset.Key]float64 `json:"values"`
+}
+
+// setWire is the serialized form of a SetSummary.
+type setWire struct {
+	Version  int           `json:"version"`
+	Kind     string        `json:"kind"`
+	Instance int           `json:"instance"`
+	P        float64       `json:"p"`
+	Salt     uint64        `json:"salt"`
+	Shared   bool          `json:"shared"`
+	Members  []dataset.Key `json:"members"`
+}
+
+// MarshalJSON encodes the summary together with its randomization salt, so
+// the receiver can recompute every seed.
+func (p *PPSSummary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(ppsWire{
+		Version:  1,
+		Kind:     "pps",
+		Instance: p.Instance,
+		Tau:      p.Tau,
+		Salt:     p.parent.seeder.Salt,
+		Shared:   p.parent.seeder.Shared,
+		Values:   p.Sample.Values,
+	})
+}
+
+// DecodePPSSummary reconstructs a PPSSummary from its wire form. Summaries
+// decoded from the same salt are combinable exactly like freshly drawn
+// ones.
+func DecodePPSSummary(data []byte) (*PPSSummary, error) {
+	var w ppsWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("core: decoding PPS summary: %w", err)
+	}
+	if w.Kind != "pps" {
+		return nil, fmt.Errorf("core: expected kind %q, got %q", "pps", w.Kind)
+	}
+	if w.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported PPS summary version %d", w.Version)
+	}
+	if w.Tau <= 0 {
+		return nil, fmt.Errorf("core: invalid tau %v", w.Tau)
+	}
+	parent := &Summarizer{seeder: xhash.Seeder{Salt: w.Salt, Shared: w.Shared}}
+	vals := w.Values
+	if vals == nil {
+		vals = map[dataset.Key]float64{}
+	}
+	return &PPSSummary{
+		Instance: w.Instance,
+		Tau:      w.Tau,
+		Sample:   &sampling.WeightedSample{Values: vals, Tau: 1 / w.Tau, Family: sampling.PPS{}},
+		parent:   parent,
+	}, nil
+}
+
+// MarshalJSON encodes the set summary with its randomization salt.
+func (s *SetSummary) MarshalJSON() ([]byte, error) {
+	members := make([]dataset.Key, 0, len(s.Members))
+	for h := range s.Members {
+		members = append(members, h)
+	}
+	return json.Marshal(setWire{
+		Version:  1,
+		Kind:     "set",
+		Instance: s.Instance,
+		P:        s.P,
+		Salt:     s.parent.seeder.Salt,
+		Shared:   s.parent.seeder.Shared,
+		Members:  members,
+	})
+}
+
+// DecodeSetSummary reconstructs a SetSummary from its wire form.
+func DecodeSetSummary(data []byte) (*SetSummary, error) {
+	var w setWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("core: decoding set summary: %w", err)
+	}
+	if w.Kind != "set" {
+		return nil, fmt.Errorf("core: expected kind %q, got %q", "set", w.Kind)
+	}
+	if w.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported set summary version %d", w.Version)
+	}
+	if !(w.P > 0 && w.P <= 1) {
+		return nil, fmt.Errorf("core: invalid sampling probability %v", w.P)
+	}
+	out := &SetSummary{
+		Instance: w.Instance,
+		P:        w.P,
+		Members:  make(map[dataset.Key]bool, len(w.Members)),
+		parent:   &Summarizer{seeder: xhash.Seeder{Salt: w.Salt, Shared: w.Shared}},
+	}
+	for _, h := range w.Members {
+		out.Members[h] = true
+	}
+	return out, nil
+}
+
+// Combinable reports whether two decoded or freshly drawn summaries share
+// the same randomization and can be queried together. Decoded summaries
+// have distinct parent pointers, so this checks the seeder itself.
+func Combinable(a, b interface{ seederOf() xhash.Seeder }) bool {
+	return a.seederOf() == b.seederOf()
+}
+
+func (p *PPSSummary) seederOf() xhash.Seeder { return p.parent.seeder }
+func (s *SetSummary) seederOf() xhash.Seeder { return s.parent.seeder }

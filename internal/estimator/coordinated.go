@@ -1,0 +1,87 @@
+package estimator
+
+import "math"
+
+// Coordinated (shared-seed) sampling of a single key's vector (§7.2): all
+// entries share one uniform seed u, and entry i is sampled iff
+// v_i ≥ u·Tau[i]. Coordination makes the outcome far more informative for
+// max estimation: with equal thresholds, whenever *any* entry is sampled,
+// the largest entry is sampled too — so the maximum is determined by every
+// non-empty outcome, and the HT estimator's success probability improves
+// from Π min{1, max/τ_i} (independent seeds) to max_i min{1, max/τ_i}.
+
+// CoordinatedOutcome is the outcome of shared-seed PPS sampling.
+type CoordinatedOutcome struct {
+	// Tau holds the per-entry PPS thresholds.
+	Tau []float64
+	// U is the single shared seed (known).
+	U float64
+	// Sampled marks sampled entries; Values holds their exact values.
+	Sampled []bool
+	Values  []float64
+}
+
+// SampleCoordinated materializes the shared-seed outcome for data v.
+func SampleCoordinated(v []float64, u float64, tau []float64) CoordinatedOutcome {
+	r := len(v)
+	o := CoordinatedOutcome{Tau: tau, U: u, Sampled: make([]bool, r), Values: make([]float64, r)}
+	for i := 0; i < r; i++ {
+		if v[i] > 0 && v[i] >= u*tau[i] {
+			o.Sampled[i] = true
+			o.Values[i] = v[i]
+		}
+	}
+	return o
+}
+
+// MaxHTCoordinated is the inverse-probability estimator of max(v) over a
+// shared-seed PPS outcome. The positive-estimate set S* contains the
+// outcomes on which the maximum is determined: the argmax entry must be
+// sampled and every unsampled entry's revealed bound u·τ_i must not exceed
+// it, which for a shared seed is the single event u ≤ min_i max(v)/τ_i.
+// The success probability PR[S*|v] = min_i min{1, max(v)/τ_i} is
+// computable from any outcome in S*; it always dominates the
+// independent-seed probability Π_i min{1, max(v)/τ_i} because a shared
+// seed replaces a product of factors ≤ 1 with their minimum.
+func MaxHTCoordinated(o CoordinatedOutcome) float64 {
+	m := 0.0
+	for i, s := range o.Sampled {
+		if s && o.Values[i] > m {
+			m = o.Values[i]
+		}
+	}
+	if m <= 0 {
+		return 0
+	}
+	for i, s := range o.Sampled {
+		if !s && o.U*o.Tau[i] > m {
+			return 0
+		}
+	}
+	p := 1.0
+	for _, tau := range o.Tau {
+		p = math.Min(p, math.Min(1, m/tau))
+	}
+	if p <= 0 {
+		return 0
+	}
+	return m / p
+}
+
+// VarMaxHTCoordinated is the exact variance of the coordinated estimator
+// on data v with equal thresholds τ: max²(1/p − 1) with p = min{1, max/τ}.
+// Compare VarMaxHTPPS2's p = min{1, max/τ}² for independent seeds: the
+// coordinated success probability is the square root of the independent
+// one, which is the §7.2 boost in closed form.
+func VarMaxHTCoordinated(tau float64, v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	if m <= 0 {
+		return 0
+	}
+	return VarHT(m, math.Min(1, m/tau))
+}

@@ -1,0 +1,130 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+// coordinatedMoments integrates the shared-seed estimator over the single
+// seed dimension (deterministic, exact up to Simpson error with kink
+// splits at every v_i/τ_i and m/τ_i boundary).
+func coordinatedMoments(v, tau []float64, est func(CoordinatedOutcome) float64, n int) (mean, variance float64) {
+	// Collect breakpoints where the outcome structure changes.
+	breaks := []float64{0, 1}
+	for i := range v {
+		if v[i] > 0 {
+			if b := v[i] / tau[i]; b > 0 && b < 1 {
+				breaks = append(breaks, b)
+			}
+		}
+		for j := range v {
+			if b := v[j] / tau[i]; b > 0 && b < 1 {
+				breaks = append(breaks, b)
+			}
+		}
+	}
+	sortFloats(breaks)
+	var m1, m2 float64
+	for k := 0; k+1 < len(breaks); k++ {
+		lo, hi := breaks[k], breaks[k+1]
+		if hi-lo < 1e-15 {
+			continue
+		}
+		eps := 1e-9 * (hi - lo)
+		integrate1D(lo+eps, hi-eps, n, func(u, w float64) {
+			x := est(SampleCoordinated(v, u, tau))
+			m1 += w * x
+			m2 += w * x * x
+		})
+	}
+	return m1, m2 - m1*m1
+}
+
+func sortFloats(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}
+
+func TestMaxHTCoordinatedUnbiased(t *testing.T) {
+	cases := []struct {
+		v   []float64
+		tau []float64
+	}{
+		{[]float64{5, 3}, []float64{10, 10}},
+		{[]float64{2, 8}, []float64{10, 10}},
+		{[]float64{4, 4}, []float64{10, 10}},
+		{[]float64{5, 0}, []float64{10, 10}},
+		{[]float64{3, 7, 1}, []float64{12, 12, 12}},
+		{[]float64{3, 7}, []float64{8, 20}}, // unequal thresholds
+	}
+	for _, c := range cases {
+		mean, _ := coordinatedMoments(c.v, c.tau, MaxHTCoordinated, 2048)
+		want := maxOf(c.v)
+		if !approxEq(mean, want, 1e-5) {
+			t.Errorf("v=%v tau=%v: mean %v, want %v", c.v, c.tau, mean, want)
+		}
+	}
+}
+
+// TestCoordinationBoost quantifies §7.2: with equal thresholds the
+// coordinated HT variance is max²(1/p−1) with p = max/τ, versus the
+// independent-seed p² — coordination turns the square into a first power.
+func TestCoordinationBoost(t *testing.T) {
+	tau := []float64{10, 10}
+	for _, v := range [][]float64{{5, 3}, {2, 1}, {8, 8}} {
+		_, varCoord := coordinatedMoments(v, tau, MaxHTCoordinated, 2048)
+		want := VarMaxHTCoordinated(10, v)
+		if !approxEq(varCoord, want, 1e-4) {
+			t.Errorf("v=%v: integrated %v, closed form %v", v, varCoord, want)
+		}
+		indep := VarMaxHTPPS2(10, 10, v[0], v[1])
+		if varCoord >= indep {
+			t.Errorf("v=%v: coordinated %v not below independent %v", v, varCoord, indep)
+		}
+		// The boost factor: (1/p−1) vs (1/p²−1) at p = max/τ.
+		p := maxOf(v) / 10
+		if gotRatio, wantRatio := indep/varCoord, (1/(p*p)-1)/(1/p-1); !approxEq(gotRatio, wantRatio, 1e-3) {
+			t.Errorf("v=%v: boost ratio %v, want %v", v, gotRatio, wantRatio)
+		}
+	}
+	// Against the independent-seed optimal max^(L), the comparison goes
+	// both ways (mirroring the distinct-count trade-off): coordinated HT
+	// wins on disjoint-support data, while independent L wins on
+	// similar-value data, where it extracts partial information that the
+	// plain coordinated HT ignores.
+	opt := PPSMomentsOptions{N: 2048, ZeroOnEmpty: true}
+	_, varLZero := PPSMoments2([]float64{5, 0}, tau, MaxL2PPS, opt)
+	if got := VarMaxHTCoordinated(10, []float64{5, 0}); got >= varLZero {
+		t.Errorf("(5,0): coordinated HT %v not below independent L %v", got, varLZero)
+	}
+	_, varLEqual := PPSMoments2([]float64{5, 5}, tau, MaxL2PPS, opt)
+	if got := VarMaxHTCoordinated(10, []float64{5, 5}); varLEqual >= got {
+		t.Errorf("(5,5): independent L %v not below coordinated HT %v", varLEqual, got)
+	}
+}
+
+// TestMaxHTCoordinatedSupport: positive exactly when the outcome
+// determines the max; and with equal thresholds, every non-empty outcome
+// does.
+func TestMaxHTCoordinatedSupport(t *testing.T) {
+	rng := randx.New(9)
+	tau := []float64{10, 10}
+	for i := 0; i < 20000; i++ {
+		v := []float64{rng.Float64() * 12, rng.Float64() * 12}
+		u := rng.Float64()
+		o := SampleCoordinated(v, u, tau)
+		est := MaxHTCoordinated(o)
+		any := o.Sampled[0] || o.Sampled[1]
+		if any != (est > 0) {
+			t.Fatalf("v=%v u=%v: sampled=%v est=%v (equal thresholds must determine max)", v, u, any, est)
+		}
+		if est > 0 && !approxEq(est*math.Min(1, maxOf(v)/10), maxOf(v), 1e-9) {
+			t.Fatalf("v=%v: estimate %v inconsistent with p", v, est)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package estimator
+
+// Negative results of §6: with weighted sampling and *unknown* seeds there
+// is no unbiased nonnegative estimator for ℓth(v) with ℓ < r (including
+// Boolean OR) or for RG^d, even on binary domains. The functions here make
+// Theorem 6.1's argument executable: they solve the (unique) candidate
+// unbiased estimator and report the forced violation.
+
+// UnknownSeedsOR2 solves the unique unbiased estimator of OR(v1, v2) over
+// weighted samples with unknown seeds, where p_i is the inclusion
+// probability of entry i when v_i = 1 (a zero entry is never sampled, and
+// without seeds its absence carries no information).
+//
+// The outcome space is {∅, {1}, {2}, {1,2}} (sampled entries always carry
+// value 1). Unbiasedness on (0,0), (1,0), (0,1) forces
+//
+//	f̂(∅) = 0,  f̂({1}) = 1/p1,  f̂({2}) = 1/p2,
+//
+// and unbiasedness on (1,1) then forces
+//
+//	f̂({1,2}) = (p1 + p2 − 1)/(p1·p2),
+//
+// which is negative exactly when p1 + p2 < 1. Feasible reports whether a
+// nonnegative unbiased estimator exists.
+type UnknownSeedsOR2 struct {
+	// EstEmpty, EstOne1, EstOne2, EstBoth are the forced estimate values.
+	EstEmpty, EstOne1, EstOne2, EstBoth float64
+	// Feasible is true iff EstBoth ≥ 0, i.e. p1 + p2 ≥ 1.
+	Feasible bool
+}
+
+// SolveUnknownSeedsOR2 computes the forced estimator for given inclusion
+// probabilities (both must lie in (0,1]).
+func SolveUnknownSeedsOR2(p1, p2 float64) UnknownSeedsOR2 {
+	both := (p1 + p2 - 1) / (p1 * p2)
+	return UnknownSeedsOR2{
+		EstEmpty: 0,
+		EstOne1:  1 / p1,
+		EstOne2:  1 / p2,
+		EstBoth:  both,
+		Feasible: both >= 0,
+	}
+}
+
+// Mean returns the expectation of the forced estimator on binary data
+// (v1, v2) — used by tests to confirm it is the unique unbiased solution.
+func (s UnknownSeedsOR2) Mean(p1, p2 float64, v1, v2 bool) float64 {
+	q1, q2 := 0.0, 0.0
+	if v1 {
+		q1 = p1
+	}
+	if v2 {
+		q2 = p2
+	}
+	return q1*q2*s.EstBoth + q1*(1-q2)*s.EstOne1 + (1-q1)*q2*s.EstOne2 + (1-q1)*(1-q2)*s.EstEmpty
+}
+
+// UnknownSeedsXORInfeasible demonstrates the RG^d / XOR argument of §6: any
+// nonnegative estimator of XOR over weighted samples with unknown seeds
+// must be 0 on outcomes with at most one sampled entry (nonnegativity
+// against the data vector whose hidden entry equals the sampled one), so on
+// data (1,0) — whose only possible outcomes are ∅ and {1} — the expectation
+// is 0 ≠ XOR(1,0) = 1. The function returns the resulting bias on (1,0),
+// which is −1 for every choice of probabilities: unbiasedness is impossible.
+func UnknownSeedsXORInfeasible(p1, p2 float64) (bias float64) {
+	// Outcomes for data (1,0): {1} with probability p1, ∅ otherwise; both
+	// forced to estimate 0.
+	return 0 - 1
+}

@@ -1,0 +1,52 @@
+package estimator
+
+// Boolean OR estimators (§4.3 weight-oblivious, §5.1 weighted with known
+// seeds). On binary domains OR coincides with max, and the OR estimators
+// are the max estimators specialized to {0,1} values — but they remain
+// Pareto optimal in the restricted domain.
+
+// ORL2 is OR^(L) for two entries under weight-oblivious Poisson sampling:
+// the specialization of max^(L) to binary data. Variance is minimized on
+// the "no change" vector (1,1).
+func ORL2(o ObliviousOutcome) float64 {
+	return MaxL2(binarized(o))
+}
+
+// ORU2 is OR^(U) for two entries under weight-oblivious Poisson sampling:
+// the specialization of max^(U); it is the symmetric nonnegative unbiased
+// estimator with minimum variance on the "change" vectors (1,0) and (0,1).
+func ORU2(o ObliviousOutcome) float64 {
+	return MaxU2(binarized(o))
+}
+
+// ORLKnownSeeds is OR^(L) for weighted sampling of binary data with known
+// seeds (§5.1), via the information-preserving mapping to the oblivious
+// model.
+func ORLKnownSeeds(o BinaryKnownSeedsOutcome) float64 {
+	return ORL2(o.ToOblivious())
+}
+
+// ORUKnownSeeds is OR^(U) for weighted sampling of binary data with known
+// seeds (§5.1).
+func ORUKnownSeeds(o BinaryKnownSeedsOutcome) float64 {
+	return ORU2(o.ToOblivious())
+}
+
+// ORLUniform returns OR^(L) for r entries with uniform inclusion
+// probability p, built on the max^(L) coefficient machinery (the §4.3
+// specialization remains optimal on the binary domain).
+func ORLUniform(r int, p float64) (*MaxLUniform, error) {
+	return NewMaxLUniform(r, p)
+}
+
+// binarized clamps sampled values to {0,1} so the max machinery operates on
+// the Boolean domain.
+func binarized(o ObliviousOutcome) ObliviousOutcome {
+	out := ObliviousOutcome{P: o.P, Sampled: o.Sampled, Values: make([]float64, len(o.Values))}
+	for i, v := range o.Values {
+		if o.Sampled[i] && v > 0 {
+			out.Values[i] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// HT estimators for the remaining §2 primitives: the ℓ-th largest entry
+// and the exponentiated range RG^d. Under weight-oblivious Poisson
+// sampling these inverse-probability estimators are unbiased and
+// nonnegative; HT is Pareto optimal for min (any r) and for RG at r = 2,
+// and suboptimal for the interior quantiles (§4) — which is precisely the
+// paper's motivation for the order-based machinery.
+
+// LthHTOblivious estimates the ℓ-th largest entry (1-based) with inverse
+// probability weighting over fully sampled outcomes.
+func LthHTOblivious(o ObliviousOutcome, l int) float64 {
+	if l < 1 || l > o.R() {
+		panic(fmt.Sprintf("estimator: quantile index %d out of range [1,%d]", l, o.R()))
+	}
+	return HTOblivious(o, func(v []float64) float64 {
+		s := append([]float64(nil), v...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+		return s[l-1]
+	})
+}
+
+// RGdHTOblivious estimates RG(v)^d = (max−min)^d with inverse probability
+// weighting over fully sampled outcomes.
+func RGdHTOblivious(o ObliviousOutcome, d float64) float64 {
+	return HTOblivious(o, func(v []float64) float64 {
+		rg := maxOf(v) - minOf(v)
+		switch d {
+		case 1:
+			return rg
+		case 2:
+			return rg * rg
+		}
+		return math.Pow(rg, d)
+	})
+}

@@ -1,0 +1,130 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestThresholdFamilies(t *testing.T) {
+	pps := PPSThreshold{TauStar: 10}
+	if got := pps.At(0.5); got != 5 {
+		t.Errorf("PPS At(0.5) = %v", got)
+	}
+	if got := pps.InclusionProb(2); got != 0.2 {
+		t.Errorf("PPS InclusionProb(2) = %v", got)
+	}
+	if got := pps.InclusionProb(20); got != 1 {
+		t.Errorf("PPS InclusionProb(20) = %v", got)
+	}
+	exp := EXPThreshold{RankTau: 0.5}
+	// v ≥ τ(u) ⟺ 1 − e^{−v·r*} ≥ u, so inclusion prob matches the EXP
+	// rank family.
+	if got, want := exp.InclusionProb(3), 1-math.Exp(-1.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("EXP InclusionProb(3) = %v, want %v", got, want)
+	}
+	// τ is increasing in u for both families.
+	for _, th := range []Threshold{pps, exp} {
+		prev := -1.0
+		for _, u := range []float64{0, 0.2, 0.5, 0.9, 0.999} {
+			cur := th.At(u)
+			if cur < prev {
+				t.Errorf("threshold not monotone at u=%v", u)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestSampleWeightedConsistency: the sampling rule agrees with the
+// threshold's inclusion probability empirically.
+func TestSampleWeightedConsistency(t *testing.T) {
+	rng := randx.New(3)
+	for _, th := range []Threshold{PPSThreshold{TauStar: 8}, EXPThreshold{RankTau: 0.3}} {
+		for _, v := range []float64{0.5, 2, 10} {
+			const n = 200000
+			hits := 0
+			for i := 0; i < n; i++ {
+				o := SampleWeighted([]float64{v}, []float64{rng.Float64()}, []Threshold{th})
+				if o.Sampled[0] {
+					hits++
+				}
+			}
+			want := th.InclusionProb(v)
+			if got := float64(hits) / n; math.Abs(got-want) > 0.005 {
+				t.Errorf("%T v=%v: empirical %v, want %v", th, v, got, want)
+			}
+		}
+	}
+}
+
+// TestMaxHTWeightedUnbiased: Monte Carlo unbiasedness of the generalized
+// HT max estimator for mixed threshold families (one PPS entry, one EXP
+// entry) — the §2 general model in action.
+func TestMaxHTWeightedUnbiased(t *testing.T) {
+	th := []Threshold{PPSThreshold{TauStar: 12}, EXPThreshold{RankTau: 0.15}}
+	rng := randx.New(31)
+	for _, v := range [][]float64{{5, 3}, {10, 1}, {2, 8}, {4, 4}, {6, 0}} {
+		const n = 500000
+		var sumMax, sumMin float64
+		for i := 0; i < n; i++ {
+			o := SampleWeighted(v, []float64{rng.Float64(), rng.Float64()}, th)
+			sumMax += MaxHTWeighted(o)
+			sumMin += MinHTWeighted(o)
+		}
+		wantMax := math.Max(v[0], v[1])
+		if got := sumMax / n; math.Abs(got-wantMax)/wantMax > 0.03 {
+			t.Errorf("v=%v: MaxHTWeighted mean %v, want %v", v, got, wantMax)
+		}
+		wantMin := math.Min(v[0], v[1])
+		got := sumMin / n
+		if wantMin == 0 {
+			if got != 0 {
+				t.Errorf("v=%v: MinHTWeighted mean %v, want 0", v, got)
+			}
+		} else if math.Abs(got-wantMin)/wantMin > 0.03 {
+			t.Errorf("v=%v: MinHTWeighted mean %v, want %v", v, got, wantMin)
+		}
+	}
+}
+
+// TestMaxHTWeightedMatchesPPS: with PPS thresholds the generalized
+// estimator coincides with MaxHTPPS on every outcome.
+func TestMaxHTWeightedMatchesPPS(t *testing.T) {
+	tau := []float64{10, 5}
+	th := []Threshold{PPSThreshold{TauStar: 10}, PPSThreshold{TauStar: 5}}
+	rng := randx.New(77)
+	for i := 0; i < 20000; i++ {
+		v := []float64{rng.Float64() * 15, rng.Float64() * 15}
+		u := []float64{rng.Float64(), rng.Float64()}
+		a := MaxHTPPS(SamplePPS(v, u, tau))
+		b := MaxHTWeighted(SampleWeighted(v, u, th))
+		if !approxEq(a, b, 1e-12) {
+			t.Fatalf("v=%v u=%v: PPS %v vs weighted %v", v, u, a, b)
+		}
+	}
+}
+
+// TestMaxHTWeightedSupport: the estimate is positive iff the outcome
+// determines the max.
+func TestMaxHTWeightedSupport(t *testing.T) {
+	th := []Threshold{EXPThreshold{RankTau: 0.2}, EXPThreshold{RankTau: 0.2}}
+	rng := randx.New(41)
+	for i := 0; i < 20000; i++ {
+		v := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		u := []float64{rng.Float64(), rng.Float64()}
+		o := SampleWeighted(v, u, th)
+		est := MaxHTWeighted(o)
+		m := o.MaxSampled()
+		determined := m > 0
+		for j := 0; j < 2; j++ {
+			if !o.Sampled[j] && o.Thresholds[j].At(o.U[j]) > m {
+				determined = false
+			}
+		}
+		if determined != (est > 0) {
+			t.Fatalf("v=%v u=%v: determined=%v est=%v", v, u, determined, est)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/aggregate"
+)
+
+// Figure6 reproduces Figure 6: the per-instance sample size s = p·n needed
+// for the HT and L distinct-count estimators to reach a target coefficient
+// of variation, as a function of the set size n, for several Jaccard
+// coefficients — plus the ratio s(L)/s(HT).
+func Figure6() []*Table {
+	js := []float64{0, 0.5, 0.9, 1}
+	var tables []*Table
+	for _, cv := range []float64{0.1, 0.02} {
+		t := &Table{
+			ID:     "figure6-size",
+			Title:  "required sample size s vs n, cv=" + fmtG(cv),
+			Header: []string{"n", "HT J=0", "HT J=0.5", "HT J=0.9", "HT J=1", "L J=0", "L J=0.5", "L J=0.9", "L J=1"},
+		}
+		r := &Table{
+			ID:     "figure6-ratio",
+			Title:  "s(L)/s(HT) vs n, cv=" + fmtG(cv),
+			Header: []string{"n", "J=0", "J=0.5", "J=0.9", "J=1"},
+		}
+		for e := 2; e <= 10; e++ {
+			n := math.Pow(10, float64(e))
+			row := []interface{}{n}
+			ratioRow := []interface{}{n}
+			var hts, ls [4]float64
+			for i, j := range js {
+				hts[i] = aggregate.RequiredPHT(n, j, cv) * n
+				ls[i] = aggregate.RequiredPL(n, j, cv) * n
+			}
+			for _, s := range hts {
+				row = append(row, s)
+			}
+			for _, s := range ls {
+				row = append(row, s)
+			}
+			for i := range js {
+				if hts[i] > 0 {
+					ratioRow = append(ratioRow, ls[i]/hts[i])
+				} else {
+					ratioRow = append(ratioRow, "n/a")
+				}
+			}
+			t.AddRow(row...)
+			r.AddRow(ratioRow...)
+		}
+		tables = append(tables, t, r)
+	}
+	return tables
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+func TestMultiPeriodShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-salt MSE sweep in short mode")
+	}
+	tab := MultiPeriod()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	prevRatio := 0.0
+	for i := range tab.Rows {
+		mseHT := cell(tab, i, 2)
+		mseL := cell(tab, i, 3)
+		ratio := cell(tab, i, 4)
+		if mseL >= mseHT {
+			t.Errorf("row %d: L MSE %v not below HT %v", i, mseL, mseHT)
+		}
+		// The partial-information advantage grows with r.
+		if ratio <= prevRatio {
+			t.Errorf("row %d: HT/L ratio %v not growing (prev %v)", i, ratio, prevRatio)
+		}
+		prevRatio = ratio
+		// Coordinated sampling beats both independent estimators on this
+		// workload (moderate overlap, p=0.2).
+		if coord := cell(tab, i, 5); coord >= mseL {
+			t.Errorf("row %d: coordinated MSE %v not below independent L %v", i, coord, mseL)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package sampling
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// rankedKey pairs a key with its rank for the bottom-k max-heap.
+type rankedKey struct {
+	key  dataset.Key
+	rank float64
+}
+
+// rankHeap is a max-heap on rank so the largest retained rank is on top and
+// can be evicted when a smaller rank arrives.
+type rankHeap []rankedKey
+
+func (h rankHeap) Len() int            { return len(h) }
+func (h rankHeap) Less(i, j int) bool  { return h[i].rank > h[j].rank }
+func (h rankHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *rankHeap) Push(x interface{}) { *h = append(*h, x.(rankedKey)) }
+func (h *rankHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// BottomK draws a bottom-k (order) sample of the instance: the k keys with
+// smallest ranks, where ranks are drawn from the given family using the
+// per-key seeds. Tau is set to the (k+1)-st smallest rank, which is the
+// rank-conditioning threshold for the subset-sum estimator (§7.1); with PPS
+// ranks this is exactly priority sampling, with EXP ranks it is weighted
+// sampling without replacement.
+//
+// The sample is computed in one streaming pass with a size-(k+1) heap, so an
+// instance never needs to be fully materialized in rank order.
+func BottomK(in dataset.Instance, k int, fam RankFamily, seed SeedFunc) *WeightedSample {
+	h := make(rankHeap, 0, k+1)
+	heap.Init(&h)
+	for key, v := range in {
+		r := fam.Rank(seed(key), v)
+		if math.IsInf(r, 1) {
+			continue
+		}
+		if len(h) < k+1 {
+			heap.Push(&h, rankedKey{key, r})
+			continue
+		}
+		if r < h[0].rank {
+			h[0] = rankedKey{key, r}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := &WeightedSample{Values: make(map[dataset.Key]float64, k), Family: fam}
+	if len(h) <= k {
+		// Fewer than k+1 positive keys: everything is sampled, and the
+		// conditioning threshold is unbounded (estimates are exact values).
+		out.Tau = math.Inf(1)
+		for _, rk := range h {
+			out.Values[rk.key] = in[rk.key]
+		}
+		return out
+	}
+	// The heap top holds the (k+1)-st smallest rank; it is excluded from
+	// the sample and becomes the threshold.
+	out.Tau = h[0].rank
+	for _, rk := range h[1:] {
+		out.Values[rk.key] = in[rk.key]
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/randx"
+	"repro/internal/xhash"
+)
+
+// Property-based invariant tests (testing/quick) for the sampling
+// substrates: the structural guarantees every estimator in this repository
+// leans on.
+
+// TestQuickVarOptTotalPreserved: VarOpt's adjusted weights sum to the
+// exact stream total after every arrival, for arbitrary streams.
+func TestQuickVarOptTotalPreserved(t *testing.T) {
+	f := func(seed uint64, sizes []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 64 {
+			sizes = sizes[:64]
+		}
+		rng := randx.New(seed)
+		vo := NewVarOpt(4, rng)
+		total := 0.0
+		for i, s := range sizes {
+			w := 0.5 + float64(s%37)
+			vo.Add(dataset.Key(i+1), w)
+			total += w
+			got := vo.Sample().SubsetSum(nil)
+			if math.Abs(got-total) > 1e-6*math.Max(1, total) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVarOptThresholdMonotone: the VarOpt threshold never decreases.
+func TestQuickVarOptThresholdMonotone(t *testing.T) {
+	f := func(seed uint64, sizes []uint8) bool {
+		rng := randx.New(seed)
+		vo := NewVarOpt(3, rng)
+		prev := 0.0
+		for i, s := range sizes {
+			vo.Add(dataset.Key(i+1), 0.5+float64(s%23))
+			if vo.Tau() < prev-1e-12 {
+				return false
+			}
+			prev = vo.Tau()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStreamEqualsBatch: the streaming bottom-k sampler agrees with
+// the batch construction for every random instance and arrival order.
+func TestQuickStreamEqualsBatch(t *testing.T) {
+	f := func(salt uint64, weights []uint8, order uint64) bool {
+		in := dataset.Instance{}
+		for i, w := range weights {
+			if len(in) >= 40 {
+				break
+			}
+			in[dataset.Key(i+1)] = 1 + float64(w%19)
+		}
+		seeder := xhash.Seeder{Salt: salt}
+		seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+		batch := BottomK(in, 7, PPS{}, seed)
+		s := NewStreamBottomK(7, PPS{}, seed)
+		keys := in.Keys()
+		perm := randx.New(order).Perm(len(keys))
+		for _, idx := range perm {
+			s.Push(keys[idx], in[keys[idx]])
+		}
+		snap := s.Snapshot()
+		if snap.Tau != batch.Tau || len(snap.Values) != len(batch.Values) {
+			return false
+		}
+		for h, v := range batch.Values {
+			if snap.Values[h] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBottomKRankBound: every sampled key's rank is strictly below
+// the conditioning threshold, and the threshold is the (k+1)-st smallest.
+func TestQuickBottomKRankBound(t *testing.T) {
+	f := func(salt uint64, weights []uint8) bool {
+		in := dataset.Instance{}
+		for i, w := range weights {
+			if len(in) >= 50 {
+				break
+			}
+			in[dataset.Key(i+1)] = 1 + float64(w%29)
+		}
+		seeder := xhash.Seeder{Salt: salt}
+		seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+		s := BottomK(in, 5, EXP{}, seed)
+		below := 0
+		for h, v := range in {
+			r := (EXP{}).Rank(seed(h), v)
+			if r < s.Tau {
+				below++
+			}
+			_, sampled := s.Values[h]
+			if sampled != (r < s.Tau) {
+				return false
+			}
+		}
+		return math.IsInf(s.Tau, 1) || below == 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPPSSampleValueFidelity: sampled values are reported exactly and
+// only keys meeting the threshold rule are present.
+func TestQuickPPSSampleValueFidelity(t *testing.T) {
+	f := func(salt uint64, weights []uint8, tauRaw uint8) bool {
+		in := dataset.Instance{}
+		for i, w := range weights {
+			if len(in) >= 50 {
+				break
+			}
+			in[dataset.Key(i+1)] = float64(w % 31) // zeros allowed
+		}
+		tau := 1 + float64(tauRaw%50)
+		seeder := xhash.Seeder{Salt: salt}
+		seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+		s := PoissonPPS(in, tau, seed)
+		for h, v := range in {
+			want := v > 0 && v >= seed(h)*tau
+			got, ok := s.Values[h]
+			if ok != want {
+				return false
+			}
+			if ok && got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+package sampling
+
+import (
+	"container/heap"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/randx"
+)
+
+func TestRankFamilyNames(t *testing.T) {
+	if (PPS{}).Name() != "pps" || (EXP{}).Name() != "exp" {
+		t.Error("family names wrong")
+	}
+}
+
+func TestRankHeapInterface(t *testing.T) {
+	h := rankHeap{}
+	heap.Init(&h)
+	for _, r := range []float64{0.5, 0.1, 0.9, 0.3} {
+		heap.Push(&h, rankedKey{rank: r})
+	}
+	// Max-heap: pops come out in decreasing rank order.
+	prev := math.Inf(1)
+	for h.Len() > 0 {
+		rk := heap.Pop(&h).(rankedKey)
+		if rk.rank > prev {
+			t.Fatalf("heap order violated: %v after %v", rk.rank, prev)
+		}
+		prev = rk.rank
+	}
+}
+
+func TestNewVarOptValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewVarOpt(0) did not panic")
+		}
+	}()
+	NewVarOpt(0, randx.New(1))
+}
+
+func TestStreamBottomKLenCap(t *testing.T) {
+	seeder := func(h dataset.Key) float64 { return float64(h%97) / 97 }
+	s := NewStreamBottomK(3, PPS{}, func(h dataset.Key) float64 { return seeder(h) })
+	for k := dataset.Key(1); k <= 10; k++ {
+		s.Push(k, float64(k))
+	}
+	// Internally k+1 items are retained; Len reports at most k.
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	if snap := s.Snapshot(); len(snap.Values) != 3 {
+		t.Errorf("snapshot size %d, want 3", len(snap.Values))
+	}
+}

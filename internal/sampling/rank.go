@@ -1,0 +1,78 @@
+// Package sampling implements the single-instance sampling schemes of §7.1
+// (Poisson weight-oblivious, Poisson PPS, bottom-k / order sampling, VarOpt)
+// and the joint multi-instance distributions (independent vs shared-seed
+// coordinated sampling) used throughout the paper.
+//
+// All schemes are driven by reproducible seeds u(h) ∈ [0,1) supplied by the
+// caller (normally hash-derived via xhash.Seeder), which realizes the
+// paper's "known seeds" model: the estimator can recompute the seed of any
+// key, sampled or not.
+package sampling
+
+import "math"
+
+// RankFamily maps a uniform seed and a weight to a rank value. Smaller
+// ranks are sampled first; weighted sampling uses families where the rank
+// is stochastically decreasing in the weight (§7.1).
+type RankFamily interface {
+	// Rank returns r(h) = F_w^{-1}(u) for seed u ∈ [0,1) and weight w ≥ 0.
+	// A weight of 0 yields +Inf: zero-valued keys are never sampled.
+	Rank(u, w float64) float64
+	// InclusionProb returns PR[Rank(U, w) < tau] over uniform U — the
+	// probability a key of weight w has rank below the threshold tau.
+	InclusionProb(w, tau float64) float64
+	// Name identifies the family ("pps" or "exp").
+	Name() string
+}
+
+// PPS ranks: r = u/w, the family behind Poisson PPS (inclusion probability
+// proportional to size) and priority sampling (bottom-k with PPS ranks).
+type PPS struct{}
+
+// Rank implements RankFamily.
+func (PPS) Rank(u, w float64) float64 {
+	if w <= 0 {
+		return math.Inf(1)
+	}
+	return u / w
+}
+
+// InclusionProb implements RankFamily: PR[u/w < tau] = min(1, w·tau).
+func (PPS) InclusionProb(w, tau float64) float64 {
+	if w <= 0 || tau <= 0 {
+		return 0
+	}
+	if math.IsInf(tau, 1) {
+		return 1
+	}
+	return math.Min(1, w*tau)
+}
+
+// Name implements RankFamily.
+func (PPS) Name() string { return "pps" }
+
+// EXP ranks: r = −ln(1−u)/w, exponentially distributed with parameter w.
+// Bottom-k with EXP ranks is weighted sampling without replacement.
+type EXP struct{}
+
+// Rank implements RankFamily.
+func (EXP) Rank(u, w float64) float64 {
+	if w <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log1p(-u) / w
+}
+
+// InclusionProb implements RankFamily: PR[r < tau] = 1 − e^{−w·tau}.
+func (EXP) InclusionProb(w, tau float64) float64 {
+	if w <= 0 || tau <= 0 {
+		return 0
+	}
+	if math.IsInf(tau, 1) {
+		return 1
+	}
+	return -math.Expm1(-w * tau)
+}
+
+// Name implements RankFamily.
+func (EXP) Name() string { return "exp" }

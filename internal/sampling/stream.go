@@ -1,0 +1,120 @@
+package sampling
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// StreamBottomK maintains a bottom-k sample incrementally over a stream of
+// (key, value) pairs, using O(k) memory and O(log k) per arrival. Values
+// of the same key must arrive at most once (the instances×keys model
+// assigns one value per key per instance); feeding aggregated streams is
+// the caller's concern.
+type StreamBottomK struct {
+	k    int
+	fam  RankFamily
+	seed SeedFunc
+	h    rankHeap
+	vals map[dataset.Key]float64
+}
+
+// NewStreamBottomK returns an empty streaming bottom-k sampler.
+func NewStreamBottomK(k int, fam RankFamily, seed SeedFunc) *StreamBottomK {
+	if k <= 0 {
+		panic("sampling: NewStreamBottomK with non-positive k")
+	}
+	return &StreamBottomK{
+		k:    k,
+		fam:  fam,
+		seed: seed,
+		h:    make(rankHeap, 0, k+1),
+		vals: make(map[dataset.Key]float64, k+1),
+	}
+}
+
+// Push offers one (key, value) pair to the sampler.
+func (s *StreamBottomK) Push(key dataset.Key, v float64) {
+	r := s.fam.Rank(s.seed(key), v)
+	if math.IsInf(r, 1) {
+		return
+	}
+	if len(s.h) < s.k+1 {
+		heap.Push(&s.h, rankedKey{key, r})
+		s.vals[key] = v
+		return
+	}
+	if r >= s.h[0].rank {
+		return
+	}
+	delete(s.vals, s.h[0].key)
+	s.h[0] = rankedKey{key, r}
+	s.vals[key] = v
+	heap.Fix(&s.h, 0)
+}
+
+// Len returns the number of retained keys (at most k+1 internally; the
+// (k+1)-st is the threshold witness and excluded from Snapshot).
+func (s *StreamBottomK) Len() int {
+	if len(s.h) > s.k {
+		return s.k
+	}
+	return len(s.h)
+}
+
+// Snapshot materializes the current sample with its rank-conditioning
+// threshold. The sampler remains usable afterwards.
+func (s *StreamBottomK) Snapshot() *WeightedSample {
+	out := &WeightedSample{Values: make(map[dataset.Key]float64, s.k), Family: s.fam}
+	if len(s.h) <= s.k {
+		out.Tau = math.Inf(1)
+		for _, rk := range s.h {
+			out.Values[rk.key] = s.vals[rk.key]
+		}
+		return out
+	}
+	out.Tau = s.h[0].rank
+	for _, rk := range s.h[1:] {
+		out.Values[rk.key] = s.vals[rk.key]
+	}
+	return out
+}
+
+// StreamPoissonPPS filters a stream down to a Poisson PPS sample with a
+// fixed threshold tauStar: stateless per key, O(1) memory beyond the
+// retained sample — the scheme of choice when key processing must be fully
+// decoupled (e.g. sensors transmitting independently, §7.1).
+type StreamPoissonPPS struct {
+	tau  float64
+	seed SeedFunc
+	out  map[dataset.Key]float64
+}
+
+// NewStreamPoissonPPS returns an empty streaming PPS sampler with
+// weight-scale threshold tauStar.
+func NewStreamPoissonPPS(tauStar float64, seed SeedFunc) *StreamPoissonPPS {
+	if tauStar <= 0 {
+		panic("sampling: NewStreamPoissonPPS with non-positive tau")
+	}
+	return &StreamPoissonPPS{tau: tauStar, seed: seed, out: make(map[dataset.Key]float64)}
+}
+
+// Push offers one (key, value) pair.
+func (s *StreamPoissonPPS) Push(key dataset.Key, v float64) {
+	if v > 0 && v >= s.seed(key)*s.tau {
+		s.out[key] = v
+	}
+}
+
+// Len returns the current sample size.
+func (s *StreamPoissonPPS) Len() int { return len(s.out) }
+
+// Snapshot materializes the current sample.
+func (s *StreamPoissonPPS) Snapshot() *WeightedSample {
+	vals := make(map[dataset.Key]float64, len(s.out))
+	for k, v := range s.out {
+		vals[k] = v
+	}
+	return &WeightedSample{Values: vals, Tau: 1 / s.tau, Family: PPS{}}
+}

@@ -1,0 +1,122 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/randx"
+	"repro/internal/xhash"
+)
+
+// TestStreamBottomKMatchesBatch: the streaming sampler produces exactly
+// the batch bottom-k sample (same keys, same threshold) for any arrival
+// order.
+func TestStreamBottomKMatchesBatch(t *testing.T) {
+	in := dataset.Instance{}
+	rng := randx.New(42)
+	for k := dataset.Key(1); k <= 500; k++ {
+		in[k] = math.Floor(1 + rng.Pareto(1, 1.3))
+	}
+	seeder := xhash.Seeder{Salt: 77}
+	seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+	batch := BottomK(in, 25, PPS{}, seed)
+
+	for trial := 0; trial < 3; trial++ {
+		s := NewStreamBottomK(25, PPS{}, seed)
+		order := randx.New(uint64(trial)).Perm(len(in))
+		keys := in.Keys()
+		for _, idx := range order {
+			h := keys[idx]
+			s.Push(h, in[h])
+		}
+		snap := s.Snapshot()
+		if snap.Tau != batch.Tau {
+			t.Fatalf("trial %d: tau %v vs batch %v", trial, snap.Tau, batch.Tau)
+		}
+		if len(snap.Values) != len(batch.Values) {
+			t.Fatalf("trial %d: size %d vs %d", trial, len(snap.Values), len(batch.Values))
+		}
+		for h, v := range batch.Values {
+			if snap.Values[h] != v {
+				t.Fatalf("trial %d: key %d missing or wrong", trial, h)
+			}
+		}
+	}
+}
+
+func TestStreamBottomKSmallStream(t *testing.T) {
+	seeder := xhash.Seeder{Salt: 5}
+	seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+	s := NewStreamBottomK(10, EXP{}, seed)
+	s.Push(1, 3)
+	s.Push(2, 0) // zero weight: ignored
+	s.Push(3, 7)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	snap := s.Snapshot()
+	if !math.IsInf(snap.Tau, 1) {
+		t.Errorf("tau = %v, want +inf for undersized stream", snap.Tau)
+	}
+	if got := snap.SubsetSum(nil); got != 10 {
+		t.Errorf("undersized subset sum %v, want exact 10", got)
+	}
+	// Snapshot does not consume the sampler.
+	s.Push(4, 9)
+	if s.Len() != 3 {
+		t.Errorf("push after snapshot failed: len %d", s.Len())
+	}
+}
+
+// TestStreamPoissonPPSMatchesBatch: the streaming filter equals the batch
+// PPS sample.
+func TestStreamPoissonPPSMatchesBatch(t *testing.T) {
+	in := dataset.Instance{}
+	rng := randx.New(17)
+	for k := dataset.Key(1); k <= 300; k++ {
+		in[k] = math.Floor(1 + rng.Pareto(1, 1.4))
+	}
+	seeder := xhash.Seeder{Salt: 3}
+	seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+	tau := TauForExpectedSize(in, 30)
+	batch := PoissonPPS(in, tau, seed)
+	s := NewStreamPoissonPPS(tau, seed)
+	for h, v := range in {
+		s.Push(h, v)
+	}
+	if s.Len() != batch.Len() {
+		t.Fatalf("size %d vs batch %d", s.Len(), batch.Len())
+	}
+	snap := s.Snapshot()
+	for h, v := range batch.Values {
+		if snap.Values[h] != v {
+			t.Fatalf("key %d mismatch", h)
+		}
+	}
+	if got, want := snap.SubsetSum(nil), batch.SubsetSum(nil); math.Abs(got-want) > 1e-9 {
+		t.Errorf("subset sums differ: %v vs %v", got, want)
+	}
+	// Snapshot is a copy: pushing more does not mutate it.
+	before := len(snap.Values)
+	s.Push(9999, 1e9)
+	if len(snap.Values) != before {
+		t.Error("snapshot aliases the live sampler")
+	}
+}
+
+func TestStreamConstructorsValidate(t *testing.T) {
+	seed := func(dataset.Key) float64 { return 0.5 }
+	mustPanic(t, func() { NewStreamBottomK(0, PPS{}, seed) })
+	mustPanic(t, func() { NewStreamPoissonPPS(0, seed) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestWelfordMoments(t *testing.T) {
+	var w Welford
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", w.Mean())
+	}
+	if math.Abs(w.Var()-4) > 1e-12 {
+		t.Errorf("population var = %v, want 4", w.Var())
+	}
+	if math.Abs(w.SampleVar()-32.0/7) > 1e-12 {
+		t.Errorf("sample var = %v, want %v", w.SampleVar(), 32.0/7)
+	}
+	if math.Abs(w.CV()-2.0/5) > 1e-12 {
+		t.Errorf("cv = %v, want 0.4", w.CV())
+	}
+}
+
+func TestWelfordEdgeCases(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.CV() != 0 {
+		t.Error("empty accumulator not zero")
+	}
+	if !math.IsInf(w.StdErr(), 1) {
+		t.Error("StdErr of empty accumulator should be +inf")
+	}
+	w.Add(3)
+	if w.Var() != 0 || w.SampleVar() != 0 {
+		t.Error("single observation variance not zero")
+	}
+	var z Welford
+	z.Add(0)
+	z.Add(0)
+	if z.CV() != 0 {
+		t.Errorf("CV of constant zero = %v", z.CV())
+	}
+	var m Welford
+	m.Add(-1)
+	m.Add(1)
+	if !math.IsInf(m.CV(), 1) {
+		t.Errorf("CV with zero mean and spread = %v, want +inf", m.CV())
+	}
+}
+
+func TestWelfordNumericalStability(t *testing.T) {
+	// Huge offset with tiny variance: the naive sum-of-squares approach
+	// would catastrophically cancel.
+	var w Welford
+	const offset = 1e12
+	for i := 0; i < 1000; i++ {
+		w.Add(offset + float64(i%2))
+	}
+	if math.Abs(w.Var()-0.25) > 1e-6 {
+		t.Errorf("variance = %v, want 0.25", w.Var())
+	}
+}
+
+func TestMonteCarloReproducible(t *testing.T) {
+	rep := func(rng *randx.RNG) float64 { return rng.Float64() }
+	a := MonteCarlo(5, 1000, rep)
+	b := MonteCarlo(5, 1000, rep)
+	if a.Mean() != b.Mean() || a.Var() != b.Var() {
+		t.Error("MonteCarlo not reproducible for equal seeds")
+	}
+	c := MonteCarlo(6, 1000, rep)
+	if a.Mean() == c.Mean() {
+		t.Error("different seeds produced identical means")
+	}
+	if math.Abs(a.Mean()-0.5) > 0.03 {
+		t.Errorf("uniform mean = %v", a.Mean())
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root := Bisect(0, 10, 100, func(x float64) float64 { return x*x - 2 })
+	if math.Abs(root-math.Sqrt2) > 1e-9 {
+		t.Errorf("root = %v, want √2", root)
+	}
+	// Decreasing function.
+	root = Bisect(0, 1, 100, func(x float64) float64 { return 0.25 - x })
+	if math.Abs(root-0.25) > 1e-9 {
+		t.Errorf("root = %v, want 0.25", root)
+	}
+	// No bracketing: returns the endpoint with smaller |f|.
+	got := Bisect(0, 1, 50, func(x float64) float64 { return x + 1 })
+	if got != 0 {
+		t.Errorf("unbracketed root = %v, want 0", got)
+	}
+	// Exact root at an endpoint.
+	if got := Bisect(2, 5, 50, func(x float64) float64 { return x - 2 }); got != 2 {
+		t.Errorf("endpoint root = %v", got)
+	}
+}
+
+func TestNormalizedVar(t *testing.T) {
+	if got := NormalizedVar(4, 2); got != 1 {
+		t.Errorf("NormalizedVar(4,2) = %v", got)
+	}
+	if got := NormalizedVar(4, 0); got != 0 {
+		t.Errorf("NormalizedVar with zero total = %v", got)
+	}
+}
