@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/aggregate"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/estimator"
 	"repro/internal/experiments"
 	"repro/internal/randx"
@@ -334,6 +335,67 @@ func BenchmarkTauForExpectedSize(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sinkF += sampling.TauForExpectedSize(in, 500)
+	}
+}
+
+// --- Engine benchmarks: sharded summarization throughput ---
+
+// benchStream draws a deterministic 1M-pair stream with heavy-tailed
+// values, the workload of the engine scaling benchmarks.
+func benchStream(n int) []engine.Pair {
+	rng := randx.New(11)
+	pairs := make([]engine.Pair, n)
+	for i := range pairs {
+		pairs[i] = engine.Pair{Key: dataset.Key(i + 1), Value: 1 + rng.Pareto(1, 1.3)}
+	}
+	return pairs
+}
+
+// BenchmarkEngineBottomK measures sharded bottom-k summarization of a
+// 1M-key stream at 1/2/4/8 shards. shards=1 is the sequential baseline
+// (in-line StreamBottomK, no goroutines); the per-shard speedup only
+// materializes when GOMAXPROCS cores are actually available.
+func BenchmarkEngineBottomK(b *testing.B) {
+	pairs := benchStream(1 << 20)
+	seeder := xhash.Seeder{Salt: 9}
+	seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(benchName("shards", shards), func(b *testing.B) {
+			cfg := engine.Config{Parallel: shards > 1, Shards: shards}
+			b.SetBytes(int64(len(pairs)) * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := engine.NewBottomK(4096, sampling.PPS{}, seed, cfg)
+				e.PushBatch(pairs)
+				sinkF += e.Close().Tau
+			}
+		})
+	}
+}
+
+// BenchmarkEnginePoissonPPS measures sharded Poisson PPS summarization of
+// a 1M-key stream at 1/2/4/8 shards (stateless filter per shard, union
+// merge).
+func BenchmarkEnginePoissonPPS(b *testing.B) {
+	pairs := benchStream(1 << 20)
+	seeder := xhash.Seeder{Salt: 9}
+	seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+	in := make(dataset.Instance, len(pairs))
+	for _, p := range pairs {
+		in[p.Key] = p.Value
+	}
+	tau := sampling.TauForExpectedSize(in, 4096)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(benchName("shards", shards), func(b *testing.B) {
+			cfg := engine.Config{Parallel: shards > 1, Shards: shards}
+			b.SetBytes(int64(len(pairs)) * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := engine.NewPoissonPPS(tau, seed, cfg)
+				e.PushBatch(pairs)
+				sinkF += float64(e.Close().Len())
+			}
+		})
 	}
 }
 

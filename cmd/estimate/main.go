@@ -8,6 +8,15 @@
 //	estimate -query maxdominance a.json b.json
 //	estimate -query distinct     a.json b.json
 //	estimate -demo                      # generate, serialize, and query a demo pair
+//	estimate -demo -shards 4 -batch 512 # demo summarization through the sharded engine
+//
+// -shards selects the summarization strategy for the maxdominance -demo's
+// PPS summaries: 1 (default) runs the sequential pipeline, 0 fans out
+// across GOMAXPROCS workers, n>1 uses n shards (negative values are
+// rejected). -batch sizes the per-shard arrival batches. The summary is
+// identical either way; only throughput changes. The distinct demo's set
+// summaries do not route through the engine yet, so the flags are
+// rejected there rather than silently ignored.
 package main
 
 import (
@@ -19,16 +28,28 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/simdata"
 )
 
 func main() {
 	query := flag.String("query", "maxdominance", "query to run: maxdominance or distinct")
 	demo := flag.Bool("demo", false, "write a demo summary pair to the working directory and query it")
+	shards := flag.Int("shards", 1, "summarization shards for -demo: 1 sequential, 0 auto (GOMAXPROCS), n>1 explicit")
+	batch := flag.Int("batch", 0, "per-shard batch size for -demo (0 = default)")
 	flag.Parse()
 
+	if *shards < 0 || *batch < 0 {
+		fmt.Fprintln(os.Stderr, "-shards and -batch must be non-negative")
+		os.Exit(2)
+	}
+	if (*shards != 1 || *batch != 0) && (!*demo || *query != "maxdominance") {
+		fmt.Fprintln(os.Stderr, "-shards/-batch only apply to the maxdominance demo's PPS summarization")
+		os.Exit(2)
+	}
 	if *demo {
-		if err := runDemo(*query); err != nil {
+		cfg := engine.Config{Parallel: *shards != 1, Shards: *shards, BatchSize: *batch}
+		if err := runDemo(*query, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -88,7 +109,7 @@ func run(query, file1, file2 string) error {
 	return nil
 }
 
-func runDemo(query string) error {
+func runDemo(query string, cfg engine.Config) error {
 	dir, err := os.MkdirTemp("", "estimate-demo-")
 	if err != nil {
 		return err
@@ -99,7 +120,7 @@ func runDemo(query string) error {
 	switch query {
 	case "maxdominance":
 		for i := 0; i < 2; i++ {
-			sum := s.SummarizePPSExpectedSize(i, m.Instances[i], 200)
+			sum := s.SummarizePPSExpectedSizeWith(cfg, i, m.Instances[i], 200)
 			data, err := json.MarshalIndent(sum, "", " ")
 			if err != nil {
 				return err

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/aggregate"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/estimator"
 	"repro/internal/sampling"
 	"repro/internal/xhash"
@@ -71,14 +72,11 @@ type PPSSummary struct {
 }
 
 // SummarizePPS draws the PPS summary of one instance with threshold tau
-// (inclusion probability min{1, v/tau}).
+// (inclusion probability min{1, v/tau}). It routes through the
+// summarization engine on its sequential path; use SummarizePPSWith to fan
+// out across shards for heavy instances.
 func (s *Summarizer) SummarizePPS(instance int, in dataset.Instance, tau float64) *PPSSummary {
-	return &PPSSummary{
-		Instance: instance,
-		Tau:      tau,
-		Sample:   sampling.PoissonPPS(in, tau, s.seedFunc(instance)),
-		parent:   s,
-	}
+	return s.SummarizePPSWith(engine.Config{}, instance, in, tau)
 }
 
 // SummarizePPSExpectedSize draws a PPS summary sized to k expected keys.
@@ -283,13 +281,11 @@ type BottomKSummary struct {
 
 // SummarizeBottomK draws a bottom-k summary with the given rank family
 // (sampling.PPS{} for priority sampling, sampling.EXP{} for weighted
-// sampling without replacement).
+// sampling without replacement). It routes through the summarization
+// engine on its sequential path; use SummarizeBottomKWith to fan out
+// across shards for heavy instances.
 func (s *Summarizer) SummarizeBottomK(instance int, in dataset.Instance, k int, fam sampling.RankFamily) *BottomKSummary {
-	return &BottomKSummary{
-		Instance: instance,
-		Sample:   sampling.BottomK(in, k, fam, s.seedFunc(instance)),
-		parent:   s,
-	}
+	return s.SummarizeBottomKWith(engine.Config{}, instance, in, k, fam)
 }
 
 // SubsetSum estimates Σ_{h∈sel} v(h) with the rank-conditioning estimator.

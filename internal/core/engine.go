@@ -1,0 +1,109 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/sampling"
+)
+
+// This file wires the Summarizer front door through the sharded
+// summarization engine. Every Summarize entry point in core.go routes
+// through one of the With variants below with the zero (sequential)
+// engine.Config; callers with heavy streams pass Config{Parallel: true} to
+// fan out across shards. Either way the resulting summary is identical —
+// ranks depend only on the hash-derived seeds, not on arrival order or
+// shard assignment — so estimator semantics never depend on the execution
+// strategy.
+
+// SummarizePPSWith draws the PPS summary of one instance with threshold tau
+// through the engine under the given config.
+func (s *Summarizer) SummarizePPSWith(cfg engine.Config, instance int, in dataset.Instance, tau float64) *PPSSummary {
+	if tau <= 0 {
+		// The engine's stream samplers reject non-positive thresholds, but
+		// this entry point has always accepted them (tau = 0 samples every
+		// positive key, tau < 0 samples none); keep the historical batch
+		// semantics for the degenerate cases.
+		return &PPSSummary{
+			Instance: instance,
+			Tau:      tau,
+			Sample:   sampling.PoissonPPS(in, tau, s.seedFunc(instance)),
+			parent:   s,
+		}
+	}
+	return &PPSSummary{
+		Instance: instance,
+		Tau:      tau,
+		Sample:   engine.SummarizePoissonPPS(in, tau, s.seedFunc(instance), cfg),
+		parent:   s,
+	}
+}
+
+// SummarizePPSExpectedSizeWith draws a PPS summary sized to k expected keys
+// through the engine under the given config.
+func (s *Summarizer) SummarizePPSExpectedSizeWith(cfg engine.Config, instance int, in dataset.Instance, k float64) *PPSSummary {
+	return s.SummarizePPSWith(cfg, instance, in, sampling.TauForExpectedSize(in, k))
+}
+
+// SummarizeBottomKWith draws a bottom-k summary through the engine under
+// the given config.
+func (s *Summarizer) SummarizeBottomKWith(cfg engine.Config, instance int, in dataset.Instance, k int, fam sampling.RankFamily) *BottomKSummary {
+	return &BottomKSummary{
+		Instance: instance,
+		Sample:   engine.SummarizeBottomK(in, k, fam, s.seedFunc(instance), cfg),
+		parent:   s,
+	}
+}
+
+// BottomKStream summarizes one instance incrementally: Push arrivals as
+// they happen, Close to obtain the finished BottomKSummary. It is the
+// streaming face of SummarizeBottomKWith for callers that never
+// materialize the instance.
+type BottomKStream struct {
+	instance int
+	parent   *Summarizer
+	e        *engine.BottomK
+}
+
+// StreamBottomK opens a bottom-k summarization stream for one instance.
+func (s *Summarizer) StreamBottomK(cfg engine.Config, instance int, k int, fam sampling.RankFamily) *BottomKStream {
+	return &BottomKStream{
+		instance: instance,
+		parent:   s,
+		e:        engine.NewBottomK(k, fam, s.seedFunc(instance), cfg),
+	}
+}
+
+// Push offers one (key, value) arrival.
+func (b *BottomKStream) Push(h dataset.Key, v float64) { b.e.Push(h, v) }
+
+// Close drains the pipeline and returns the finished summary.
+func (b *BottomKStream) Close() *BottomKSummary {
+	return &BottomKSummary{Instance: b.instance, Sample: b.e.Close(), parent: b.parent}
+}
+
+// PPSStream summarizes one instance incrementally with Poisson PPS
+// sampling at a fixed threshold tau.
+type PPSStream struct {
+	instance int
+	tau      float64
+	parent   *Summarizer
+	e        *engine.PoissonPPS
+}
+
+// StreamPPS opens a Poisson PPS summarization stream for one instance.
+func (s *Summarizer) StreamPPS(cfg engine.Config, instance int, tau float64) *PPSStream {
+	return &PPSStream{
+		instance: instance,
+		tau:      tau,
+		parent:   s,
+		e:        engine.NewPoissonPPS(tau, s.seedFunc(instance), cfg),
+	}
+}
+
+// Push offers one (key, value) arrival.
+func (p *PPSStream) Push(h dataset.Key, v float64) { p.e.Push(h, v) }
+
+// Close drains the pipeline and returns the finished summary.
+func (p *PPSStream) Close() *PPSSummary {
+	return &PPSSummary{Instance: p.instance, Tau: p.tau, Sample: p.e.Close(), parent: p.parent}
+}

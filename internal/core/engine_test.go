@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/randx"
+	"repro/internal/sampling"
+)
+
+func engineTestInstance(n int) dataset.Instance {
+	rng := randx.New(63)
+	in := make(dataset.Instance, n)
+	for k := dataset.Key(1); k <= dataset.Key(n); k++ {
+		in[k] = math.Floor(1 + rng.Pareto(1, 1.3))
+	}
+	return in
+}
+
+// TestSummarizeWithConfigsAgree: the engine-routed entry points produce the
+// same summary for every execution strategy, and match the legacy batch
+// samplers.
+func TestSummarizeWithConfigsAgree(t *testing.T) {
+	in := engineTestInstance(600)
+	s := NewSummarizer(404)
+	cfgs := []engine.Config{{}, {Parallel: true, Shards: 3, BatchSize: 50}, {Parallel: true}}
+
+	wantPPS := sampling.PoissonPPS(in, 40, s.seedFunc(0))
+	wantBK := sampling.BottomK(in, 30, sampling.EXP{}, s.seedFunc(1))
+	for _, cfg := range cfgs {
+		pps := s.SummarizePPSWith(cfg, 0, in, 40)
+		if len(pps.Sample.Values) != len(wantPPS.Values) {
+			t.Fatalf("cfg %+v: PPS size %d, want %d", cfg, len(pps.Sample.Values), len(wantPPS.Values))
+		}
+		for h, v := range wantPPS.Values {
+			if pps.Sample.Values[h] != v {
+				t.Fatalf("cfg %+v: PPS key %d mismatch", cfg, h)
+			}
+		}
+		bk := s.SummarizeBottomKWith(cfg, 1, in, 30, sampling.EXP{})
+		if bk.Sample.Tau != wantBK.Tau {
+			t.Fatalf("cfg %+v: bottom-k tau %v, want %v", cfg, bk.Sample.Tau, wantBK.Tau)
+		}
+		for h, v := range wantBK.Values {
+			if bk.Sample.Values[h] != v {
+				t.Fatalf("cfg %+v: bottom-k key %d mismatch", cfg, h)
+			}
+		}
+	}
+}
+
+// TestStreamSummarizersMatchBatch: the incremental front-door streams end
+// at the same summaries as the one-shot entry points.
+func TestStreamSummarizersMatchBatch(t *testing.T) {
+	in := engineTestInstance(400)
+	s := NewSummarizer(77)
+	cfg := engine.Config{Parallel: true, Shards: 4, BatchSize: 32}
+
+	want := s.SummarizeBottomK(2, in, 25, sampling.PPS{})
+	st := s.StreamBottomK(cfg, 2, 25, sampling.PPS{})
+	for h, v := range in {
+		st.Push(h, v)
+	}
+	got := st.Close()
+	if got.Sample.Tau != want.Sample.Tau || len(got.Sample.Values) != len(want.Sample.Values) {
+		t.Fatalf("bottom-k stream: tau %v size %d, want tau %v size %d",
+			got.Sample.Tau, len(got.Sample.Values), want.Sample.Tau, len(want.Sample.Values))
+	}
+
+	wantPPS := s.SummarizePPS(3, in, 35)
+	ps := s.StreamPPS(cfg, 3, 35)
+	for h, v := range in {
+		ps.Push(h, v)
+	}
+	gotPPS := ps.Close()
+	if gotPPS.Tau != wantPPS.Tau || len(gotPPS.Sample.Values) != len(wantPPS.Sample.Values) {
+		t.Fatalf("pps stream: size %d, want %d", len(gotPPS.Sample.Values), len(wantPPS.Sample.Values))
+	}
+	// Stream-built summaries stay combinable with one-shot ones.
+	if _, err := MaxDominance(wantPPS, gotPPS, nil); err == nil {
+		t.Error("same-instance summaries must be rejected")
+	}
+	other := s.SummarizePPS(4, in, 35)
+	if _, err := MaxDominance(gotPPS, other, nil); err != nil {
+		t.Errorf("stream-built summary not combinable: %v", err)
+	}
+}
+
+// TestSummarizePPSDegenerateTau: non-positive thresholds keep their
+// historical batch semantics instead of panicking in the stream sampler —
+// tau = 0 samples every positive key exactly, tau < 0 samples none.
+func TestSummarizePPSDegenerateTau(t *testing.T) {
+	in := engineTestInstance(50)
+	s := NewSummarizer(5)
+	zero := s.SummarizePPS(0, in, 0)
+	if zero.Len() != len(in) {
+		t.Errorf("tau=0: sampled %d of %d keys, want all", zero.Len(), len(in))
+	}
+	neg := s.SummarizePPS(0, in, -3)
+	if neg.Len() != 0 {
+		t.Errorf("tau<0: sampled %d keys, want none", neg.Len())
+	}
+}

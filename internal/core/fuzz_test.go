@@ -1,0 +1,171 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// Fuzz targets for the summary wire format. Two properties:
+//
+//  1. Round trip: decode(encode(s)) reproduces s exactly — keys, values,
+//     threshold, salt, sharing mode.
+//  2. Robustness: decoding arbitrary (corrupted) bytes returns an error
+//     instead of panicking, and anything that does decode re-encodes to a
+//     summary that decodes identically (the format is self-consistent).
+//
+// `go test` runs these over the seed corpus; `go test -fuzz=FuzzX` explores.
+
+// buildPPS constructs a PPS summary deterministically from fuzz inputs:
+// every byte of blob becomes one sampled (key, value) pair.
+func buildPPS(salt uint64, shared bool, instance int, tau float64, blob []byte) *PPSSummary {
+	var s *Summarizer
+	if shared {
+		s = NewCoordinatedSummarizer(salt)
+	} else {
+		s = NewSummarizer(salt)
+	}
+	in := make(dataset.Instance, len(blob))
+	for i, b := range blob {
+		in[dataset.Key(uint64(i)<<8|uint64(b))] = 1 + float64(b)
+	}
+	return s.SummarizePPS(instance, in, tau)
+}
+
+func FuzzPPSSummaryRoundTrip(f *testing.F) {
+	f.Add(uint64(1), false, 0, 10.0, []byte{1, 2, 3})
+	f.Add(uint64(42), true, 3, 0.5, []byte{})
+	f.Add(uint64(7), false, 100, 1e6, []byte{255, 0, 128, 7})
+	f.Fuzz(func(t *testing.T, salt uint64, shared bool, instance int, tau float64, blob []byte) {
+		if !(tau > 0) || math.IsInf(tau, 1) || len(blob) > 1024 {
+			t.Skip()
+		}
+		orig := buildPPS(salt, shared, instance, tau, blob)
+		data, err := json.Marshal(orig)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := DecodePPSSummary(data)
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		if got.Instance != orig.Instance || got.Tau != orig.Tau {
+			t.Fatalf("instance/tau mismatch: %+v vs %+v", got, orig)
+		}
+		if got.parent.seeder != orig.parent.seeder {
+			t.Fatalf("seeder mismatch: %+v vs %+v", got.parent.seeder, orig.parent.seeder)
+		}
+		if len(got.Sample.Values) != len(orig.Sample.Values) {
+			t.Fatalf("sample size %d vs %d", len(got.Sample.Values), len(orig.Sample.Values))
+		}
+		for h, v := range orig.Sample.Values {
+			gv, ok := got.Sample.Values[h]
+			if !ok || gv != v {
+				t.Fatalf("key %d: %v vs %v (ok=%v)", h, gv, v, ok)
+			}
+		}
+	})
+}
+
+func FuzzDecodePPSSummary(f *testing.F) {
+	valid, _ := json.Marshal(buildPPS(3, false, 1, 25, []byte{9, 9, 4}))
+	f.Add(valid)
+	f.Add([]byte(`{"version":1,"kind":"pps","tau":-1}`))
+	f.Add([]byte(`{"version":99,"kind":"pps","tau":1}`))
+	f.Add([]byte(`{"kind":"set"}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"version":1,"kind":"pps","tau":1,"values":{"1":"NaN"}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodePPSSummary(data) // must never panic
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode and decode to the same summary.
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("re-encode of decoded summary: %v", err)
+		}
+		s2, err := DecodePPSSummary(out)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if s2.Instance != s.Instance || s2.Tau != s.Tau || s2.parent.seeder != s.parent.seeder {
+			t.Fatal("re-decoded summary differs")
+		}
+		if len(s2.Sample.Values) != len(s.Sample.Values) {
+			t.Fatal("re-decoded sample size differs")
+		}
+		// The decoded summary must be usable, not just inspectable.
+		_ = s2.SubsetSum(nil)
+	})
+}
+
+func FuzzSetSummaryRoundTrip(f *testing.F) {
+	f.Add(uint64(1), false, 0, 0.5, []byte{1, 2, 3})
+	f.Add(uint64(11), true, 2, 1.0, []byte{0})
+	f.Fuzz(func(t *testing.T, salt uint64, shared bool, instance int, p float64, blob []byte) {
+		if !(p > 0 && p <= 1) || len(blob) > 1024 {
+			t.Skip()
+		}
+		var s *Summarizer
+		if shared {
+			s = NewCoordinatedSummarizer(salt)
+		} else {
+			s = NewSummarizer(salt)
+		}
+		members := make(map[dataset.Key]bool, len(blob))
+		for i, b := range blob {
+			members[dataset.Key(uint64(i)<<8|uint64(b))] = true
+		}
+		orig := s.SummarizeSet(instance, members, p)
+		data, err := json.Marshal(orig)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := DecodeSetSummary(data)
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		if got.Instance != orig.Instance || got.P != orig.P || got.parent.seeder != orig.parent.seeder {
+			t.Fatal("metadata mismatch")
+		}
+		if len(got.Members) != len(orig.Members) {
+			t.Fatalf("member count %d vs %d", len(got.Members), len(orig.Members))
+		}
+		for h := range orig.Members {
+			if !got.Members[h] {
+				t.Fatalf("member %d lost", h)
+			}
+		}
+	})
+}
+
+func FuzzDecodeSetSummary(f *testing.F) {
+	f.Add([]byte(`{"version":1,"kind":"set","p":0.5,"members":[1,2]}`))
+	f.Add([]byte(`{"version":1,"kind":"set","p":2}`))
+	f.Add([]byte(`{"version":1,"kind":"pps","p":0.5}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte{0xff, 0xfe})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSetSummary(data) // must never panic
+		if err != nil {
+			return
+		}
+		if !(s.P > 0 && s.P <= 1) {
+			t.Fatalf("decoded invalid P %v", s.P)
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		s2, err := DecodeSetSummary(out)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if s2.P != s.P || s2.Instance != s.Instance || len(s2.Members) != len(s.Members) {
+			t.Fatal("re-decoded summary differs")
+		}
+	})
+}

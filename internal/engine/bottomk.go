@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/sampling"
+)
+
+// BottomK is a sharded streaming bottom-k summarizer. Push offers arrivals,
+// Close drains the pipeline and returns the merged sample. The result is
+// identical to feeding the whole stream through one sampling.StreamBottomK
+// (see sampling.MergeBottomK for why the merge is exact).
+//
+// Push and Close must be called from a single producer goroutine; the
+// parallelism is internal. The seed function is shared by all shard workers
+// and must be safe for concurrent use (hash-derived seeds are pure
+// functions and qualify).
+type BottomK struct {
+	k   int
+	fam sampling.RankFamily
+	pipeline[*sampling.StreamBottomK]
+}
+
+// NewBottomK returns a bottom-k summarization pipeline of size k over the
+// given rank family and seed function.
+func NewBottomK(k int, fam sampling.RankFamily, seed sampling.SeedFunc, cfg Config) *BottomK {
+	return &BottomK{k: k, fam: fam, pipeline: newPipeline(cfg, func() *sampling.StreamBottomK {
+		return sampling.NewStreamBottomK(k, fam, seed)
+	})}
+}
+
+// Close flushes buffered batches, waits for the shard workers, and returns
+// the merged bottom-k sample. The pipeline is unusable afterwards.
+func (e *BottomK) Close() *sampling.WeightedSample {
+	samplers := e.close()
+	if len(samplers) == 1 {
+		return samplers[0].Snapshot()
+	}
+	groups := make([][]sampling.Entry, len(samplers))
+	for i, s := range samplers {
+		groups[i] = s.Entries()
+	}
+	return sampling.MergeBottomK(e.k, e.fam, groups...)
+}
+
+// SummarizeBottomK runs a materialized instance through a bottom-k pipeline
+// with the given config. With the zero Config this is the sequential
+// baseline; with Parallel it is the sharded pipeline. Both return the same
+// sample.
+func SummarizeBottomK(in dataset.Instance, k int, fam sampling.RankFamily, seed sampling.SeedFunc, cfg Config) *sampling.WeightedSample {
+	e := NewBottomK(k, fam, seed, cfg)
+	for h, v := range in {
+		e.Push(h, v)
+	}
+	return e.Close()
+}

@@ -1,0 +1,88 @@
+// Package engine is the sharded, batched summarization pipeline: the
+// throughput layer between raw (key, value) arrivals and the sampling
+// substrates of internal/sampling.
+//
+// A summarizer hash-partitions keys across a configurable number of shards,
+// each served by a worker goroutine running an independent sequential
+// sampler (StreamBottomK for bottom-k / order sampling, StreamPoissonPPS
+// for Poisson PPS). Arrivals are handed to workers in batches to amortize
+// channel synchronization. On Close the per-shard samples are merged into a
+// summary identical to what one sequential pass over the whole stream would
+// have produced: ranks and inclusion tests depend only on the shared seed
+// function, never on arrival order or shard assignment, so the merge is
+// well-defined and exact (sampling.MergeBottomK).
+//
+// The zero Config routes everything through a single sequential sampler
+// with no goroutines — the safe default for small instances — while
+// Config{Parallel: true} fans out across GOMAXPROCS workers. This is the
+// seam later ingest backends (files, sockets, queues) plug into: anything
+// that can produce Pair values can saturate the pipeline.
+package engine
+
+import (
+	"runtime"
+
+	"repro/internal/dataset"
+	"repro/internal/xhash"
+)
+
+// DefaultBatchSize is the number of pairs buffered per shard before they
+// are handed to the shard's worker. 1024 pairs ≈ 16 KiB per batch: large
+// enough to amortize channel operations, small enough to keep workers busy.
+const DefaultBatchSize = 1024
+
+// batchQueueDepth is the per-shard channel capacity, in batches. A small
+// queue lets the producer run ahead of a momentarily busy worker without
+// unbounded buffering.
+const batchQueueDepth = 8
+
+// Config selects the execution strategy of a summarization pipeline. The
+// zero value means sequential: one sampler, no goroutines, byte-identical
+// to calling the internal/sampling streams directly.
+type Config struct {
+	// Parallel enables the sharded pipeline. When false the other fields
+	// are ignored and the engine degenerates to a single in-line sampler.
+	Parallel bool
+	// Shards is the number of hash partitions (and worker goroutines) when
+	// Parallel; 0 means GOMAXPROCS.
+	Shards int
+	// BatchSize is the number of pairs buffered per shard between channel
+	// sends; 0 means DefaultBatchSize.
+	BatchSize int
+}
+
+// NumShards resolves the effective shard count.
+func (c Config) NumShards() int {
+	if !c.Parallel {
+		return 1
+	}
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// EffectiveBatchSize resolves the effective batch size.
+func (c Config) EffectiveBatchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+// Pair is one (key, value) arrival. Streams feed the engine as Pair values;
+// the instances×keys model assigns one value per key per instance, so a key
+// must arrive at most once per stream.
+type Pair struct {
+	Key   dataset.Key
+	Value float64
+}
+
+// shardOf routes a key to its shard. The route is a pure function of the
+// key, so re-feeding a stream in any order reproduces the same partition;
+// the merged result is independent of the partition anyway, but stable
+// routing keeps per-shard load deterministic. Mix64 decorrelates the route
+// from the seed hashes (which mix the key with a salt via Hash2).
+func shardOf(h dataset.Key, shards int) int {
+	return int(xhash.Mix64(uint64(h)) % uint64(shards))
+}

@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/randx"
+	"repro/internal/sampling"
+	"repro/internal/xhash"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	if got := (Config{}).NumShards(); got != 1 {
+		t.Errorf("zero config shards = %d, want 1", got)
+	}
+	if got := (Config{Parallel: true}).NumShards(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("parallel auto shards = %d, want GOMAXPROCS", got)
+	}
+	if got := (Config{Parallel: true, Shards: 3}).NumShards(); got != 3 {
+		t.Errorf("explicit shards = %d, want 3", got)
+	}
+	if got := (Config{Shards: 8}).NumShards(); got != 1 {
+		t.Errorf("non-parallel config must stay sequential, got %d shards", got)
+	}
+	if got := (Config{}).EffectiveBatchSize(); got != DefaultBatchSize {
+		t.Errorf("default batch = %d", got)
+	}
+	if got := (Config{BatchSize: 17}).EffectiveBatchSize(); got != 17 {
+		t.Errorf("explicit batch = %d", got)
+	}
+}
+
+func TestShardOfRange(t *testing.T) {
+	rng := randx.New(1)
+	for _, shards := range []int{1, 2, 3, 8} {
+		counts := make([]int, shards)
+		for i := 0; i < 4000; i++ {
+			s := shardOf(dataset.Key(rng.Uint64()), shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("shardOf out of range: %d of %d", s, shards)
+			}
+			counts[s]++
+		}
+		// Hash routing must not starve a shard on random keys.
+		for i, c := range counts {
+			if c == 0 {
+				t.Errorf("shards=%d: shard %d received no keys", shards, i)
+			}
+		}
+	}
+}
+
+func TestShardOfDeterministic(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		h := dataset.Key(i * 7919)
+		if shardOf(h, 4) != shardOf(h, 4) {
+			t.Fatal("shardOf must be a pure function of the key")
+		}
+	}
+}
+
+func TestSummarizeBottomKInstance(t *testing.T) {
+	seeder := xhash.Seeder{Salt: 5}
+	seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+	rng := randx.New(9)
+	in := make(dataset.Instance, 300)
+	for k := dataset.Key(1); k <= 300; k++ {
+		in[k] = math.Floor(1 + rng.Pareto(1, 1.3))
+	}
+	want := sampling.BottomK(in, 25, sampling.PPS{}, seed)
+	for _, cfg := range []Config{{}, {Parallel: true, Shards: 4, BatchSize: 32}} {
+		got := SummarizeBottomK(in, 25, sampling.PPS{}, seed, cfg)
+		if got.Tau != want.Tau {
+			t.Fatalf("cfg %+v: tau %v, want %v", cfg, got.Tau, want.Tau)
+		}
+		for h, v := range want.Values {
+			if got.Values[h] != v {
+				t.Fatalf("cfg %+v: key %d mismatch", cfg, h)
+			}
+		}
+		if len(got.Values) != len(want.Values) {
+			t.Fatalf("cfg %+v: size %d, want %d", cfg, len(got.Values), len(want.Values))
+		}
+	}
+}
+
+func TestUndersizedStream(t *testing.T) {
+	seeder := xhash.Seeder{Salt: 2}
+	seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+	e := NewBottomK(100, sampling.PPS{}, seed, Config{Parallel: true, Shards: 4})
+	e.Push(1, 2)
+	e.Push(2, 3)
+	s := e.Close()
+	if !math.IsInf(s.Tau, 1) {
+		t.Errorf("tau = %v, want +Inf for undersized stream", s.Tau)
+	}
+	if s.Len() != 2 || s.Values[1] != 2 || s.Values[2] != 3 {
+		t.Errorf("undersized sample = %+v", s.Values)
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	seed := func(dataset.Key) float64 { return 0.5 }
+	for _, cfg := range []Config{{}, {Parallel: true, Shards: 3}} {
+		s := NewBottomK(4, sampling.PPS{}, seed, cfg).Close()
+		if s.Len() != 0 || !math.IsInf(s.Tau, 1) {
+			t.Errorf("cfg %+v: empty close = len %d tau %v", cfg, s.Len(), s.Tau)
+		}
+		p := NewPoissonPPS(10, seed, cfg).Close()
+		if p.Len() != 0 {
+			t.Errorf("cfg %+v: empty poisson close = len %d", cfg, p.Len())
+		}
+	}
+}
+
+func TestUseAfterClosePanics(t *testing.T) {
+	seed := func(dataset.Key) float64 { return 0.5 }
+	for _, cfg := range []Config{{}, {Parallel: true, Shards: 2}} {
+		e := NewBottomK(4, sampling.PPS{}, seed, cfg)
+		e.Close()
+		mustPanic(t, func() { e.Push(1, 1) })
+		mustPanic(t, func() { e.Close() })
+		p := NewPoissonPPS(10, seed, cfg)
+		p.Close()
+		mustPanic(t, func() { p.Push(1, 1) })
+		mustPanic(t, func() { p.Close() })
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// pusher is the streaming-sampler interface a shard worker drives.
+type pusher interface {
+	Push(h dataset.Key, v float64)
+}
+
+// pipeline is the lifecycle shared by the engine's summarizers: the
+// closed-state guard and the sequential-vs-sharded dispatch, generic over
+// the sampler type. Summarizers embed it and implement only sampler
+// construction and the type-specific merge.
+type pipeline[S pusher] struct {
+	closed bool
+	seq    S // sequential path sampler (zero value when sharded)
+	sh     *sharder[S]
+}
+
+// newPipeline builds the execution strategy selected by cfg, constructing
+// samplers with mk.
+func newPipeline[S pusher](cfg Config, mk func() S) pipeline[S] {
+	if shards := cfg.NumShards(); shards > 1 {
+		return pipeline[S]{sh: newSharder(shards, cfg, mk)}
+	}
+	return pipeline[S]{seq: mk()}
+}
+
+// Push offers one (key, value) arrival to the pipeline.
+func (p *pipeline[S]) Push(h dataset.Key, v float64) {
+	if p.closed {
+		panic("engine: Push after Close")
+	}
+	if p.sh == nil {
+		p.seq.Push(h, v)
+		return
+	}
+	p.sh.push(h, v)
+}
+
+// PushBatch offers a slice of arrivals.
+func (p *pipeline[S]) PushBatch(pairs []Pair) {
+	for _, pr := range pairs {
+		p.Push(pr.Key, pr.Value)
+	}
+}
+
+// close marks the pipeline closed and returns the samplers to merge: the
+// single sequential sampler, or every shard's sampler after drain.
+func (p *pipeline[S]) close() []S {
+	if p.closed {
+		panic("engine: Close after Close")
+	}
+	p.closed = true
+	if p.sh == nil {
+		return []S{p.seq}
+	}
+	return p.sh.drain()
+}
+
+// sharder is the sharded batching pipeline shared by the engines: it owns
+// the per-shard buffers, worker channels, and goroutines, generically over
+// the sampler type. The engines own sampler construction and the merge.
+type sharder[S pusher] struct {
+	batch    int
+	bufs     [][]Pair
+	chans    []chan []Pair
+	samplers []S
+	wg       sync.WaitGroup
+}
+
+// newSharder spawns one worker goroutine per shard, each draining batches
+// into a sampler built by mk.
+func newSharder[S pusher](shards int, cfg Config, mk func() S) *sharder[S] {
+	sh := &sharder[S]{
+		batch:    cfg.EffectiveBatchSize(),
+		bufs:     make([][]Pair, shards),
+		chans:    make([]chan []Pair, shards),
+		samplers: make([]S, shards),
+	}
+	for i := 0; i < shards; i++ {
+		sh.bufs[i] = make([]Pair, 0, sh.batch)
+		ch := make(chan []Pair, batchQueueDepth)
+		s := mk()
+		sh.chans[i] = ch
+		sh.samplers[i] = s
+		sh.wg.Add(1)
+		go func() {
+			defer sh.wg.Done()
+			for b := range ch {
+				for _, p := range b {
+					s.Push(p.Key, p.Value)
+				}
+			}
+		}()
+	}
+	return sh
+}
+
+// push routes one arrival to its shard, handing the shard's batch to its
+// worker when full.
+func (sh *sharder[S]) push(h dataset.Key, v float64) {
+	i := shardOf(h, len(sh.chans))
+	buf := append(sh.bufs[i], Pair{h, v})
+	if len(buf) >= sh.batch {
+		sh.chans[i] <- buf
+		buf = make([]Pair, 0, sh.batch)
+	}
+	sh.bufs[i] = buf
+}
+
+// drain flushes the buffered batches, stops the workers, and returns the
+// samplers, now exclusively owned by the caller (wg.Wait orders every
+// worker write before the return).
+func (sh *sharder[S]) drain() []S {
+	for i, buf := range sh.bufs {
+		if len(buf) > 0 {
+			sh.chans[i] <- buf
+		}
+		close(sh.chans[i])
+	}
+	sh.wg.Wait()
+	return sh.samplers
+}

@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/sampling"
+)
+
+// PoissonPPS is a sharded streaming Poisson PPS summarizer with a fixed
+// weight-scale threshold tauStar. Poisson sampling is a stateless per-key
+// filter, so the merge is a plain union of the per-shard samples — trivially
+// identical to a sequential sampling.StreamPoissonPPS pass.
+//
+// Push and Close must be called from a single producer goroutine; the seed
+// function must be safe for concurrent use.
+type PoissonPPS struct {
+	pipeline[*sampling.StreamPoissonPPS]
+}
+
+// NewPoissonPPS returns a Poisson PPS summarization pipeline with
+// weight-scale threshold tauStar (inclusion probability min{1, v/tauStar}).
+func NewPoissonPPS(tauStar float64, seed sampling.SeedFunc, cfg Config) *PoissonPPS {
+	return &PoissonPPS{pipeline: newPipeline(cfg, func() *sampling.StreamPoissonPPS {
+		return sampling.NewStreamPoissonPPS(tauStar, seed)
+	})}
+}
+
+// Close flushes buffered batches, waits for the shard workers, and returns
+// the merged PPS sample. The pipeline is unusable afterwards.
+func (e *PoissonPPS) Close() *sampling.WeightedSample {
+	samplers := e.close()
+	out := samplers[0].Snapshot()
+	for _, s := range samplers[1:] {
+		s.AppendTo(out.Values)
+	}
+	return out
+}
+
+// SummarizePoissonPPS runs a materialized instance through a Poisson PPS
+// pipeline with the given config.
+func SummarizePoissonPPS(in dataset.Instance, tauStar float64, seed sampling.SeedFunc, cfg Config) *sampling.WeightedSample {
+	e := NewPoissonPPS(tauStar, seed, cfg)
+	for h, v := range in {
+		e.Push(h, v)
+	}
+	return e.Close()
+}

@@ -84,11 +84,13 @@ func (s *StreamBottomK) Snapshot() *WeightedSample {
 // StreamPoissonPPS filters a stream down to a Poisson PPS sample with a
 // fixed threshold tauStar: stateless per key, O(1) memory beyond the
 // retained sample — the scheme of choice when key processing must be fully
-// decoupled (e.g. sensors transmitting independently, §7.1).
+// decoupled (e.g. sensors transmitting independently, §7.1). Inclusion uses
+// the exact rank test of PoissonPPS (rank u/v below 1/tauStar), so the
+// streaming sample is bit-for-bit the batch sample.
 type StreamPoissonPPS struct {
-	tau  float64
-	seed SeedFunc
-	out  map[dataset.Key]float64
+	rankTau float64
+	seed    SeedFunc
+	out     map[dataset.Key]float64
 }
 
 // NewStreamPoissonPPS returns an empty streaming PPS sampler with
@@ -97,12 +99,12 @@ func NewStreamPoissonPPS(tauStar float64, seed SeedFunc) *StreamPoissonPPS {
 	if tauStar <= 0 {
 		panic("sampling: NewStreamPoissonPPS with non-positive tau")
 	}
-	return &StreamPoissonPPS{tau: tauStar, seed: seed, out: make(map[dataset.Key]float64)}
+	return &StreamPoissonPPS{rankTau: 1 / tauStar, seed: seed, out: make(map[dataset.Key]float64)}
 }
 
 // Push offers one (key, value) pair.
 func (s *StreamPoissonPPS) Push(key dataset.Key, v float64) {
-	if v > 0 && v >= s.seed(key)*s.tau {
+	if (PPS{}).Rank(s.seed(key), v) < s.rankTau {
 		s.out[key] = v
 	}
 }
@@ -110,11 +112,20 @@ func (s *StreamPoissonPPS) Push(key dataset.Key, v float64) {
 // Len returns the current sample size.
 func (s *StreamPoissonPPS) Len() int { return len(s.out) }
 
+// AppendTo copies the current sample into dst without materializing an
+// intermediate snapshot — the cheap path for unioning per-shard Poisson
+// samples.
+func (s *StreamPoissonPPS) AppendTo(dst map[dataset.Key]float64) {
+	for k, v := range s.out {
+		dst[k] = v
+	}
+}
+
 // Snapshot materializes the current sample.
 func (s *StreamPoissonPPS) Snapshot() *WeightedSample {
 	vals := make(map[dataset.Key]float64, len(s.out))
 	for k, v := range s.out {
 		vals[k] = v
 	}
-	return &WeightedSample{Values: vals, Tau: 1 / s.tau, Family: PPS{}}
+	return &WeightedSample{Values: vals, Tau: s.rankTau, Family: PPS{}}
 }
