@@ -11,12 +11,14 @@
 //	estimate -demo -shards 4 -batch 512 # demo summarization through the sharded engine
 //
 // -shards selects the summarization strategy for the maxdominance -demo's
-// PPS summaries: 1 (default) runs the sequential pipeline, 0 fans out
-// across GOMAXPROCS workers, n>1 uses n shards (negative values are
-// rejected). -batch sizes the per-shard arrival batches. The summary is
-// identical either way; only throughput changes. The distinct demo's set
-// summaries do not route through the engine yet, so the flags are
-// rejected there rather than silently ignored.
+// PPS summaries: 1 (default) runs the sequential pipeline, n>1 uses n
+// hash-partitioned shards. -batch sizes the per-shard arrival batches.
+// Both must be positive: a zero or negative count is rejected with a
+// non-zero exit instead of silently degrading to another strategy. The
+// summary is identical for every setting; only throughput changes. The
+// distinct demo's set summaries do not route through the engine (set
+// sampling is stateless), so non-default flags are rejected there rather
+// than silently ignored.
 package main
 
 import (
@@ -35,16 +37,20 @@ import (
 func main() {
 	query := flag.String("query", "maxdominance", "query to run: maxdominance or distinct")
 	demo := flag.Bool("demo", false, "write a demo summary pair to the working directory and query it")
-	shards := flag.Int("shards", 1, "summarization shards for -demo: 1 sequential, 0 auto (GOMAXPROCS), n>1 explicit")
-	batch := flag.Int("batch", 0, "per-shard batch size for -demo (0 = default)")
+	shards := flag.Int("shards", 1, "summarization shards for -demo: 1 sequential, n>1 hash-partitioned")
+	batch := flag.Int("batch", engine.DefaultBatchSize, "per-shard batch size for -demo")
 	flag.Parse()
 
-	if *shards < 0 || *batch < 0 {
-		fmt.Fprintln(os.Stderr, "-shards and -batch must be non-negative")
+	if *shards <= 0 {
+		fmt.Fprintf(os.Stderr, "estimate: -shards must be positive, got %d (e.g. -shards 4)\n", *shards)
 		os.Exit(2)
 	}
-	if (*shards != 1 || *batch != 0) && (!*demo || *query != "maxdominance") {
-		fmt.Fprintln(os.Stderr, "-shards/-batch only apply to the maxdominance demo's PPS summarization")
+	if *batch <= 0 {
+		fmt.Fprintf(os.Stderr, "estimate: -batch must be positive, got %d (e.g. -batch 1024)\n", *batch)
+		os.Exit(2)
+	}
+	if (*shards != 1 || *batch != engine.DefaultBatchSize) && (!*demo || *query != "maxdominance") {
+		fmt.Fprintln(os.Stderr, "estimate: -shards/-batch only apply to the maxdominance demo's PPS summarization")
 		os.Exit(2)
 	}
 	if *demo {

@@ -1,0 +1,74 @@
+// Command summaryd runs the summary server: an HTTP service that accepts
+// posted summaries (the core JSON wire format) or raw CSV/ndjson pair
+// streams (summarized on arrival through the sharded engine pipeline) and
+// answers distinct / max-dominance / quantile / sum queries over any
+// stored subset — the paper's dispersed-data workflow as a service.
+//
+// Usage:
+//
+//	summaryd                        # listen on :8080, sequential ingest
+//	summaryd -addr :9090            # custom listen address
+//	summaryd -shards 4 -batch 512   # sharded parallel ingest summarization
+//
+// -shards selects the ingest summarization strategy: 1 (default) runs the
+// sequential pipeline, n>1 fans out across n hash-partitioned workers.
+// -batch sizes the per-shard arrival batches. Both must be positive; the
+// stored summary is identical for every setting — only ingest throughput
+// changes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 1, "ingest summarization shards: 1 sequential, n>1 hash-partitioned workers")
+	batch := flag.Int("batch", engine.DefaultBatchSize, "per-shard batch size for sharded ingest")
+	flag.Parse()
+
+	if *shards <= 0 {
+		fmt.Fprintf(os.Stderr, "summaryd: -shards must be positive, got %d (e.g. -shards 4)\n", *shards)
+		os.Exit(2)
+	}
+	if *batch <= 0 {
+		fmt.Fprintf(os.Stderr, "summaryd: -batch must be positive, got %d (e.g. -batch 1024)\n", *batch)
+		os.Exit(2)
+	}
+
+	cfg := engine.Config{Parallel: *shards > 1, Shards: *shards, BatchSize: *batch}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.New(server.NewRegistry(), cfg),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("summaryd: listening on %s (shards=%d, batch=%d)", *addr, *shards, *batch)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("summaryd: %v", err)
+	case <-ctx.Done():
+		log.Printf("summaryd: shutting down")
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("summaryd: shutdown: %v", err)
+		}
+	}
+}

@@ -17,7 +17,7 @@
 package core
 
 import (
-	"fmt"
+	"sort"
 
 	"repro/internal/aggregate"
 	"repro/internal/dataset"
@@ -26,6 +26,26 @@ import (
 	"repro/internal/sampling"
 	"repro/internal/xhash"
 )
+
+// unionKeys returns the ascending union of the maps' key sets. Query
+// functions sum per-key estimates in this order rather than map order, so
+// a query over the same summaries returns bit-identical floats on every
+// run and on every host — the reproducibility contract the dispersed
+// workflow (and the summary server) relies on.
+func unionKeys[V any](ms ...map[dataset.Key]V) []dataset.Key {
+	seen := make(map[dataset.Key]bool)
+	for _, m := range ms {
+		for h := range m {
+			seen[h] = true
+		}
+	}
+	keys := make([]dataset.Key, 0, len(seen))
+	for h := range seen {
+		keys = append(keys, h)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
 
 // Summarizer holds the shared randomization: a salt defining the random
 // hash functions. Summaries produced with the same Summarizer can be
@@ -108,21 +128,16 @@ type MaxDominanceEstimate struct {
 // MaxDominance estimates Σ_{h∈sel} max(v1(h), v2(h)) from two PPS
 // summaries produced by the same Summarizer.
 func MaxDominance(s1, s2 *PPSSummary, sel func(dataset.Key) bool) (MaxDominanceEstimate, error) {
-	if s1.parent.seeder != s2.parent.seeder {
-		return MaxDominanceEstimate{}, fmt.Errorf("core: summaries use different randomizations")
-	}
-	if s1.Instance == s2.Instance {
-		return MaxDominanceEstimate{}, fmt.Errorf("core: max dominance needs two distinct instances")
+	if err := checkCombinable([]Summary{s1, s2}, 2); err != nil {
+		return MaxDominanceEstimate{}, err
 	}
 	tau := []float64{s1.Tau, s2.Tau}
 	seeder := s1.parent.seeder
 	var out MaxDominanceEstimate
-	seen := make(map[dataset.Key]bool)
-	consider := func(h dataset.Key) {
-		if seen[h] || (sel != nil && !sel(h)) {
-			return
+	for _, h := range unionKeys(s1.Sample.Values, s2.Sample.Values) {
+		if sel != nil && !sel(h) {
+			continue
 		}
-		seen[h] = true
 		o := estimator.PPSOutcome{
 			Tau: tau,
 			U: []float64{
@@ -141,12 +156,6 @@ func MaxDominance(s1, s2 *PPSSummary, sel func(dataset.Key) bool) (MaxDominanceE
 		out.HT += estimator.MaxHTPPS(o)
 		out.L += estimator.MaxL2PPS(o)
 		out.KeysUsed++
-	}
-	for h := range s1.Sample.Values {
-		consider(h)
-	}
-	for h := range s2.Sample.Values {
-		consider(h)
 	}
 	return out, nil
 }
@@ -177,6 +186,44 @@ func (s *Summarizer) SummarizeSet(instance int, members map[dataset.Key]bool, p 
 
 // Len returns the number of sampled members.
 func (s *SetSummary) Len() int { return len(s.Members) }
+
+// SetStream summarizes a set incrementally: Push members as they arrive,
+// Close to obtain the finished SetSummary. Known-seed Poisson set sampling
+// is stateless per key (membership is decided by the seed alone), so the
+// stream needs no engine pipeline — it is the set-summary face of the
+// edge-ingest path.
+type SetStream struct {
+	out *SetSummary
+}
+
+// StreamSet opens a set summarization stream for one instance with
+// per-member sampling probability p ∈ (0, 1].
+func (s *Summarizer) StreamSet(instance int, p float64) *SetStream {
+	if !(p > 0 && p <= 1) {
+		panic("core: StreamSet with probability outside (0,1]")
+	}
+	return &SetStream{out: &SetSummary{
+		Instance: instance,
+		P:        p,
+		Members:  make(map[dataset.Key]bool),
+		parent:   s,
+	}}
+}
+
+// Push offers one member arrival. Pushing the same key twice is harmless
+// (the seed test is deterministic).
+func (st *SetStream) Push(h dataset.Key) {
+	if st.out.parent.seeder.Seed(st.out.Instance, uint64(h)) < st.out.P {
+		st.out.Members[h] = true
+	}
+}
+
+// Close returns the finished summary. The stream is unusable afterwards.
+func (st *SetStream) Close() *SetSummary {
+	out := st.out
+	st.out = nil
+	return out
+}
 
 // SummarizeSetBottomK draws a bottom-k summary of a set: the k members
 // with the smallest seeds, with P set to the (k+1)-st smallest member seed
@@ -238,32 +285,21 @@ type DistinctEstimate struct {
 // DistinctCount estimates the number of distinct selected keys across two
 // set summaries produced by the same Summarizer (§8.1).
 func DistinctCount(s1, s2 *SetSummary, sel func(dataset.Key) bool) (DistinctEstimate, error) {
-	if s1.parent.seeder != s2.parent.seeder {
-		return DistinctEstimate{}, fmt.Errorf("core: summaries use different randomizations")
-	}
-	if s1.Instance == s2.Instance {
-		return DistinctEstimate{}, fmt.Errorf("core: distinct count needs two distinct instances")
+	if err := checkCombinable([]Summary{s1, s2}, 2); err != nil {
+		return DistinctEstimate{}, err
 	}
 	seeder := s1.parent.seeder
 	var c aggregate.DistinctCounts
-	seen := make(map[dataset.Key]bool)
-	consider := func(h dataset.Key) {
-		if seen[h] || (sel != nil && !sel(h)) {
-			return
+	for _, h := range unionKeys(s1.Members, s2.Members) {
+		if sel != nil && !sel(h) {
+			continue
 		}
-		seen[h] = true
 		c.Add(aggregate.Categorize(
 			s1.Members[h], s2.Members[h],
 			seeder.Seed(s1.Instance, uint64(h)),
 			seeder.Seed(s2.Instance, uint64(h)),
 			s1.P, s2.P,
 		))
-	}
-	for h := range s1.Members {
-		consider(h)
-	}
-	for h := range s2.Members {
-		consider(h)
 	}
 	e := aggregate.DistinctEstimator{P1: s1.P, P2: s2.P}
 	return DistinctEstimate{HT: e.HT(c), L: e.L(c), Counts: c}, nil

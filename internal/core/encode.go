@@ -2,7 +2,9 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/dataset"
 	"repro/internal/sampling"
@@ -13,6 +15,25 @@ import (
 // metadata needed to recompute inclusion probabilities and seeds. This
 // file provides a stable JSON wire format so summaries can be transmitted
 // or archived and recombined later ("post hoc" estimation, §1).
+
+// WireVersion is the current wire-format version emitted by the encoders.
+const WireVersion = 1
+
+// ErrUnknownVersion reports a summary whose wire-format version this
+// build does not speak. Callers negotiating formats (e.g. a server that
+// will eventually accept a binary v2 alongside JSON v1) can detect it
+// with errors.Is and reply with an upgrade hint instead of a generic
+// decode failure.
+var ErrUnknownVersion = errors.New("core: unknown summary wire-format version")
+
+// checkVersion validates a decoded version number against WireVersion.
+func checkVersion(kind string, version int) error {
+	if version != WireVersion {
+		return fmt.Errorf("core: %s summary version %d (supported: %d): %w",
+			kind, version, WireVersion, ErrUnknownVersion)
+	}
+	return nil
+}
 
 // ppsWire is the serialized form of a PPSSummary.
 type ppsWire struct {
@@ -40,7 +61,7 @@ type setWire struct {
 // the receiver can recompute every seed.
 func (p *PPSSummary) MarshalJSON() ([]byte, error) {
 	return json.Marshal(ppsWire{
-		Version:  1,
+		Version:  WireVersion,
 		Kind:     "pps",
 		Instance: p.Instance,
 		Tau:      p.Tau,
@@ -61,8 +82,8 @@ func DecodePPSSummary(data []byte) (*PPSSummary, error) {
 	if w.Kind != "pps" {
 		return nil, fmt.Errorf("core: expected kind %q, got %q", "pps", w.Kind)
 	}
-	if w.Version != 1 {
-		return nil, fmt.Errorf("core: unsupported PPS summary version %d", w.Version)
+	if err := checkVersion("pps", w.Version); err != nil {
+		return nil, err
 	}
 	if w.Tau <= 0 {
 		return nil, fmt.Errorf("core: invalid tau %v", w.Tau)
@@ -87,7 +108,7 @@ func (s *SetSummary) MarshalJSON() ([]byte, error) {
 		members = append(members, h)
 	}
 	return json.Marshal(setWire{
-		Version:  1,
+		Version:  WireVersion,
 		Kind:     "set",
 		Instance: s.Instance,
 		P:        s.P,
@@ -106,8 +127,8 @@ func DecodeSetSummary(data []byte) (*SetSummary, error) {
 	if w.Kind != "set" {
 		return nil, fmt.Errorf("core: expected kind %q, got %q", "set", w.Kind)
 	}
-	if w.Version != 1 {
-		return nil, fmt.Errorf("core: unsupported set summary version %d", w.Version)
+	if err := checkVersion("set", w.Version); err != nil {
+		return nil, err
 	}
 	if !(w.P > 0 && w.P <= 1) {
 		return nil, fmt.Errorf("core: invalid sampling probability %v", w.P)
@@ -124,6 +145,157 @@ func DecodeSetSummary(data []byte) (*SetSummary, error) {
 	return out, nil
 }
 
+// bottomkWire is the serialized form of a BottomKSummary. Tau encodes the
+// rank-conditioning threshold; because JSON has no representation for
+// +Inf, an absent (zero) tau means "unbounded": every positive key was
+// retained.
+type bottomkWire struct {
+	Version  int                     `json:"version"`
+	Kind     string                  `json:"kind"`
+	Instance int                     `json:"instance"`
+	Family   string                  `json:"family"`
+	Tau      float64                 `json:"tau,omitempty"`
+	Salt     uint64                  `json:"salt"`
+	Shared   bool                    `json:"shared"`
+	Values   map[dataset.Key]float64 `json:"values"`
+}
+
+// MarshalJSON encodes the bottom-k summary with its randomization salt and
+// rank family, so the receiver can recompute every rank-conditioning
+// inclusion probability.
+func (b *BottomKSummary) MarshalJSON() ([]byte, error) {
+	tau := b.Sample.Tau
+	if math.IsInf(tau, 1) {
+		tau = 0
+	}
+	return json.Marshal(bottomkWire{
+		Version:  WireVersion,
+		Kind:     "bottomk",
+		Instance: b.Instance,
+		Family:   b.Sample.Family.Name(),
+		Tau:      tau,
+		Salt:     b.parent.seeder.Salt,
+		Shared:   b.parent.seeder.Shared,
+		Values:   b.Sample.Values,
+	})
+}
+
+// DecodeBottomKSummary reconstructs a BottomKSummary from its wire form.
+func DecodeBottomKSummary(data []byte) (*BottomKSummary, error) {
+	var w bottomkWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("core: decoding bottom-k summary: %w", err)
+	}
+	if w.Kind != "bottomk" {
+		return nil, fmt.Errorf("core: expected kind %q, got %q", "bottomk", w.Kind)
+	}
+	if err := checkVersion("bottomk", w.Version); err != nil {
+		return nil, err
+	}
+	var fam sampling.RankFamily
+	switch w.Family {
+	case sampling.PPS{}.Name():
+		fam = sampling.PPS{}
+	case sampling.EXP{}.Name():
+		fam = sampling.EXP{}
+	default:
+		return nil, fmt.Errorf("core: unknown rank family %q", w.Family)
+	}
+	tau := w.Tau
+	switch {
+	case tau == 0:
+		tau = math.Inf(1)
+	case tau < 0:
+		return nil, fmt.Errorf("core: invalid rank threshold %v", tau)
+	}
+	vals := w.Values
+	if vals == nil {
+		vals = map[dataset.Key]float64{}
+	}
+	return &BottomKSummary{
+		Instance: w.Instance,
+		Sample:   &sampling.WeightedSample{Values: vals, Tau: tau, Family: fam},
+		parent:   &Summarizer{seeder: xhash.Seeder{Salt: w.Salt, Shared: w.Shared}},
+	}, nil
+}
+
+// Summary is any decoded or freshly drawn summary the wire format can
+// carry. The interface is satisfied only by this package's summary types:
+// combinability checks need access to the underlying seeder.
+type Summary interface {
+	// InstanceID returns the instance index the summary was drawn for.
+	InstanceID() int
+	// Kind returns the wire-format kind tag ("pps", "set", "bottomk").
+	Kind() string
+	// Size returns the number of retained keys.
+	Size() int
+
+	seederOf() xhash.Seeder
+}
+
+// InstanceID implements Summary.
+func (p *PPSSummary) InstanceID() int { return p.Instance }
+
+// InstanceID implements Summary.
+func (s *SetSummary) InstanceID() int { return s.Instance }
+
+// InstanceID implements Summary.
+func (b *BottomKSummary) InstanceID() int { return b.Instance }
+
+// Kind implements Summary.
+func (p *PPSSummary) Kind() string { return "pps" }
+
+// Kind implements Summary.
+func (s *SetSummary) Kind() string { return "set" }
+
+// Kind implements Summary.
+func (b *BottomKSummary) Kind() string { return "bottomk" }
+
+// Size implements Summary.
+func (p *PPSSummary) Size() int { return p.Len() }
+
+// Size implements Summary.
+func (s *SetSummary) Size() int { return s.Len() }
+
+// Size implements Summary.
+func (b *BottomKSummary) Size() int { return b.Len() }
+
+// Seeder returns the randomization a summary was drawn under.
+func SummarySeeder(s Summary) xhash.Seeder { return s.seederOf() }
+
+// DecodeSummary reconstructs a summary of any kind from its wire form,
+// dispatching on the "kind" tag. It is the trust-boundary entry point for
+// services that accept posted summaries without knowing their kind in
+// advance.
+func DecodeSummary(data []byte) (Summary, error) {
+	var head struct {
+		Version int    `json:"version"`
+		Kind    string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return nil, fmt.Errorf("core: decoding summary: %w", err)
+	}
+	switch head.Kind {
+	case "pps":
+		return DecodePPSSummary(data)
+	case "set":
+		return DecodeSetSummary(data)
+	case "bottomk":
+		return DecodeBottomKSummary(data)
+	default:
+		// An unrecognized (or missing) kind on an unrecognized version is
+		// a future format: surface the typed version error so callers can
+		// negotiate down instead of reporting a malformed summary.
+		if err := checkVersion("summary", head.Version); err != nil {
+			return nil, err
+		}
+		if head.Kind == "" {
+			return nil, fmt.Errorf("core: summary has no kind tag")
+		}
+		return nil, fmt.Errorf("core: unknown summary kind %q", head.Kind)
+	}
+}
+
 // Combinable reports whether two decoded or freshly drawn summaries share
 // the same randomization and can be queried together. Decoded summaries
 // have distinct parent pointers, so this checks the seeder itself.
@@ -131,5 +303,6 @@ func Combinable(a, b interface{ seederOf() xhash.Seeder }) bool {
 	return a.seederOf() == b.seederOf()
 }
 
-func (p *PPSSummary) seederOf() xhash.Seeder { return p.parent.seeder }
-func (s *SetSummary) seederOf() xhash.Seeder { return s.parent.seeder }
+func (p *PPSSummary) seederOf() xhash.Seeder     { return p.parent.seeder }
+func (s *SetSummary) seederOf() xhash.Seeder     { return s.parent.seeder }
+func (b *BottomKSummary) seederOf() xhash.Seeder { return b.parent.seeder }

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/estimator"
+)
+
+// This file extends the two-summary queries of core.go to arbitrary
+// stored subsets — the query surface the summary server dispatches to.
+// Every function takes decoded summaries (freshly drawn or reconstructed
+// from the wire format), verifies they share a randomization, and sums
+// per-key partial-information estimates.
+
+// checkCombinable verifies r ≥ min summaries, pairwise-combinable
+// randomizations, and pairwise-distinct instance indices. Coordinated
+// (shared-seed) summaries are rejected: the estimators behind these
+// queries assume independent per-instance seeds (the §4–§6 joint
+// distribution), and under shared seeds they would return silently biased
+// numbers — e.g. the r-instance HT term pays 1/p^r for an event of
+// probability p.
+func checkCombinable[S Summary](sums []S, min int) error {
+	if len(sums) < min {
+		return fmt.Errorf("core: query needs at least %d summaries, got %d", min, len(sums))
+	}
+	if sums[0].seederOf().Shared {
+		return fmt.Errorf("core: query estimators need independent per-instance seeds; summaries use coordinated (shared-seed) sampling")
+	}
+	seen := make(map[int]bool, len(sums))
+	for _, s := range sums {
+		if s.seederOf() != sums[0].seederOf() {
+			return fmt.Errorf("core: summaries use different randomizations")
+		}
+		if seen[s.InstanceID()] {
+			return fmt.Errorf("core: duplicate instance %d", s.InstanceID())
+		}
+		seen[s.InstanceID()] = true
+	}
+	return nil
+}
+
+// MultiDistinctEstimate is the result of a distinct-count query over r ≥ 2
+// set summaries.
+type MultiDistinctEstimate struct {
+	// HT and L are the estimates of |N1 ∪ … ∪ Nr| over selected keys: HT
+	// generalizes §8.1 (a key contributes 1/Πp_i exactly when every
+	// membership is determined and at least one holds), L is the
+	// r-instance OR^(L) estimator built on the Theorem 4.2 machinery.
+	HT, L float64
+	// KeysUsed is the number of distinct keys appearing in ≥ 1 sample.
+	KeysUsed int
+}
+
+// DistinctCountMulti estimates the number of distinct selected keys across
+// r ≥ 2 set summaries produced by the same Summarizer. For r = 2 it
+// delegates to the §8.1 pair estimator (which supports differing sampling
+// probabilities); for r > 2 the OR^(L) construction requires a uniform
+// per-member probability across the summaries.
+func DistinctCountMulti(sums []*SetSummary, sel func(dataset.Key) bool) (MultiDistinctEstimate, error) {
+	if err := checkCombinable(sums, 2); err != nil {
+		return MultiDistinctEstimate{}, err
+	}
+	if len(sums) == 2 {
+		est, err := DistinctCount(sums[0], sums[1], sel)
+		if err != nil {
+			return MultiDistinctEstimate{}, err
+		}
+		return MultiDistinctEstimate{HT: est.HT, L: est.L, KeysUsed: est.Counts.Sampled()}, nil
+	}
+	r := len(sums)
+	p := sums[0].P
+	for _, s := range sums[1:] {
+		if s.P != p {
+			return MultiDistinctEstimate{}, fmt.Errorf(
+				"core: distinct count over %d summaries needs a uniform sampling probability, got %v and %v",
+				r, p, s.P)
+		}
+	}
+	est, err := estimator.ORLUniform(r, p)
+	if err != nil {
+		return MultiDistinctEstimate{}, err
+	}
+	seeder := sums[0].seederOf()
+	htCoeff := 1.0
+	for i := 0; i < r; i++ {
+		htCoeff *= p
+	}
+	members := make([]map[dataset.Key]bool, r)
+	for i, s := range sums {
+		members[i] = s.Members
+	}
+	var out MultiDistinctEstimate
+	for _, h := range unionKeys(members...) {
+		if sel != nil && !sel(h) {
+			continue
+		}
+		o := estimator.BinaryKnownSeedsOutcome{
+			P:       make([]float64, r),
+			U:       make([]float64, r),
+			Sampled: make([]bool, r),
+		}
+		inAnySample := false
+		allSeedsLow := true
+		for i, s := range sums {
+			o.P[i] = p
+			o.U[i] = seeder.Seed(s.Instance, uint64(h))
+			// Summaries hold the *sampled* members, so membership in the
+			// summary is exactly "member and seed below p".
+			o.Sampled[i] = s.Members[h]
+			if o.Sampled[i] {
+				inAnySample = true
+			}
+			if o.U[i] >= p {
+				allSeedsLow = false
+			}
+		}
+		if !inAnySample {
+			continue
+		}
+		out.KeysUsed++
+		out.L += est.Estimate(o.ToOblivious())
+		if allSeedsLow {
+			out.HT += 1 / htCoeff
+		}
+	}
+	return out, nil
+}
+
+// QuantileEstimate is the result of a per-key quantile query.
+type QuantileEstimate struct {
+	// HT is the unbiased inverse-probability estimate of the ℓ-th largest
+	// value of the key across the queried instances (LthHTPPS): positive
+	// exactly when the summaries determine that value.
+	HT float64
+	// Sampled is the number of queried instances whose summary holds the
+	// key.
+	Sampled int
+}
+
+// QuantilePPS estimates the ℓ-th largest value (1-based: ℓ = 1 is the max,
+// ℓ = r the min) of one key across r ≥ 2 PPS summaries produced by the
+// same Summarizer. Interior quantiles have no closed-form order-based
+// estimator in the paper (§4 proves plain HT suboptimal and the
+// conclusion leaves derivation to automated tools — see examples/derive),
+// so the HT baseline is what a query can serve exactly.
+func QuantilePPS(sums []*PPSSummary, h dataset.Key, l int) (QuantileEstimate, error) {
+	if err := checkCombinable(sums, 2); err != nil {
+		return QuantileEstimate{}, err
+	}
+	r := len(sums)
+	if l < 1 || l > r {
+		return QuantileEstimate{}, fmt.Errorf("core: quantile index %d out of range [1,%d]", l, r)
+	}
+	seeder := sums[0].seederOf()
+	o := estimator.PPSOutcome{
+		Tau:     make([]float64, r),
+		U:       make([]float64, r),
+		Sampled: make([]bool, r),
+		Values:  make([]float64, r),
+	}
+	var out QuantileEstimate
+	for i, s := range sums {
+		if s.Tau <= 0 {
+			return QuantileEstimate{}, fmt.Errorf("core: summary of instance %d has non-positive tau %v", s.Instance, s.Tau)
+		}
+		o.Tau[i] = s.Tau
+		o.U[i] = seeder.Seed(s.Instance, uint64(h))
+		if v, ok := s.Sample.Values[h]; ok {
+			o.Sampled[i], o.Values[i] = true, v
+			out.Sampled++
+		}
+	}
+	out.HT = estimator.LthHTPPS(o, l)
+	return out, nil
+}

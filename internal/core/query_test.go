@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/aggregate"
+	"repro/internal/dataset"
+	"repro/internal/estimator"
+	"repro/internal/randx"
+	"repro/internal/sampling"
+)
+
+// threeSets builds three overlapping member sets over a shared universe.
+func threeSets(n int) []map[dataset.Key]bool {
+	rng := randx.New(5)
+	sets := make([]map[dataset.Key]bool, 3)
+	for i := range sets {
+		sets[i] = make(map[dataset.Key]bool)
+	}
+	for k := 1; k <= n; k++ {
+		h := dataset.Key(k)
+		placed := false
+		for i := range sets {
+			if rng.Float64() < 0.6 {
+				sets[i][h] = true
+				placed = true
+			}
+		}
+		if !placed {
+			sets[rng.Intn(3)][h] = true
+		}
+	}
+	return sets
+}
+
+// TestDistinctCountMultiMatchesAggregate: the summary-level r = 3 distinct
+// count must agree with aggregate.MultiDistinct run on the full sets —
+// the summaries carry all the information the estimator consumes.
+func TestDistinctCountMultiMatchesAggregate(t *testing.T) {
+	const p = 0.3
+	sets := threeSets(2000)
+	s := NewSummarizer(2011)
+	sums := make([]*SetSummary, 3)
+	for i, set := range sets {
+		sums[i] = s.SummarizeSet(i, set, p)
+	}
+	got, err := DistinctCountMulti(sums, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := aggregate.NewMultiDistinct(3, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := md.Estimate(sets, s.Seeder(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.HT-want.HT) > 1e-9*(1+want.HT) {
+		t.Errorf("HT = %v, aggregate says %v", got.HT, want.HT)
+	}
+	if math.Abs(got.L-want.L) > 1e-9*(1+want.L) {
+		t.Errorf("L = %v, aggregate says %v", got.L, want.L)
+	}
+	if got.KeysUsed != want.Sampled {
+		t.Errorf("KeysUsed = %d, aggregate sampled %d", got.KeysUsed, want.Sampled)
+	}
+}
+
+// TestDistinctCountMultiPairDelegation: r = 2 must reproduce the §8.1 pair
+// estimator exactly, including differing sampling probabilities.
+func TestDistinctCountMultiPairDelegation(t *testing.T) {
+	sets := threeSets(1000)
+	s := NewSummarizer(17)
+	s1 := s.SummarizeSet(0, sets[0], 0.25)
+	s2 := s.SummarizeSet(1, sets[1], 0.4)
+	want, err := DistinctCount(s1, s2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DistinctCountMulti([]*SetSummary{s1, s2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HT != want.HT || got.L != want.L {
+		t.Errorf("pair delegation drifted: (%v, %v) vs (%v, %v)", got.HT, got.L, want.HT, want.L)
+	}
+}
+
+// TestDistinctCountMultiRejects: incompatible summary combinations fail
+// loudly.
+func TestDistinctCountMultiRejects(t *testing.T) {
+	sets := threeSets(100)
+	s := NewSummarizer(1)
+	other := NewSummarizer(2)
+	a := s.SummarizeSet(0, sets[0], 0.5)
+	b := s.SummarizeSet(1, sets[1], 0.5)
+	c := s.SummarizeSet(2, sets[2], 0.25)
+
+	if _, err := DistinctCountMulti([]*SetSummary{a}, nil); err == nil {
+		t.Error("single summary accepted")
+	}
+	if _, err := DistinctCountMulti([]*SetSummary{a, other.SummarizeSet(1, sets[1], 0.5)}, nil); err == nil {
+		t.Error("mixed randomizations accepted")
+	}
+	if _, err := DistinctCountMulti([]*SetSummary{a, s.SummarizeSet(0, sets[1], 0.5)}, nil); err == nil {
+		t.Error("duplicate instance accepted")
+	}
+	if _, err := DistinctCountMulti([]*SetSummary{a, b, c}, nil); err == nil {
+		t.Error("non-uniform p accepted for r = 3")
+	}
+	// Coordinated (shared-seed) summaries: the estimators assume
+	// independent per-instance seeds, so these must be rejected, not
+	// silently mis-estimated.
+	coord := NewCoordinatedSummarizer(1)
+	ca := coord.SummarizeSet(0, sets[0], 0.5)
+	cb := coord.SummarizeSet(1, sets[1], 0.5)
+	if _, err := DistinctCountMulti([]*SetSummary{ca, cb}, nil); err == nil {
+		t.Error("coordinated summaries accepted by DistinctCountMulti")
+	}
+	in := dataset.Instance{1: 5, 2: 3}
+	qa := coord.SummarizePPS(0, in, 4)
+	qb := coord.SummarizePPS(1, in, 4)
+	if _, err := QuantilePPS([]*PPSSummary{qa, qb}, 1, 1); err == nil {
+		t.Error("coordinated summaries accepted by QuantilePPS")
+	}
+}
+
+// TestQuantilePPS: the query helper must evaluate LthHTPPS on exactly the
+// outcome the summaries encode.
+func TestQuantilePPS(t *testing.T) {
+	in := []dataset.Instance{
+		{1: 50, 2: 3, 3: 7},
+		{1: 40, 2: 9},
+		{1: 60, 3: 2},
+	}
+	s := NewSummarizer(123)
+	taus := []float64{20, 25, 30}
+	sums := make([]*PPSSummary, 3)
+	for i := range in {
+		sums[i] = s.SummarizePPS(i, in[i], taus[i])
+	}
+	for _, h := range []dataset.Key{1, 2, 3} {
+		for l := 1; l <= 3; l++ {
+			got, err := QuantilePPS(sums, h, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := estimator.PPSOutcome{
+				Tau:     taus,
+				U:       make([]float64, 3),
+				Sampled: make([]bool, 3),
+				Values:  make([]float64, 3),
+			}
+			for i := range sums {
+				o.U[i] = s.Seeder().Seed(i, uint64(h))
+				if v, ok := sums[i].Sample.Values[h]; ok {
+					o.Sampled[i], o.Values[i] = true, v
+				}
+			}
+			if want := estimator.LthHTPPS(o, l); got.HT != want {
+				t.Errorf("key %d, l=%d: HT = %v, want %v", h, l, got.HT, want)
+			}
+		}
+	}
+	// Key 1 is far above every threshold: sampled everywhere, so the
+	// median is determined and the estimate equals it exactly.
+	got, err := QuantilePPS(sums, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sampled != 3 || got.HT != 50 {
+		t.Errorf("hot key: HT = %v (sampled %d), want 50 (sampled 3)", got.HT, got.Sampled)
+	}
+	if _, err := QuantilePPS(sums, 1, 4); err == nil {
+		t.Error("out-of-range quantile index accepted")
+	}
+	if _, err := QuantilePPS(sums[:1], 1, 1); err == nil {
+		t.Error("single summary accepted")
+	}
+}
+
+// TestQueryDeterminism: repeated queries over the same summaries must be
+// bit-identical — the reproducibility contract the summary server
+// advertises.
+func TestQueryDeterminism(t *testing.T) {
+	sets := threeSets(3000)
+	s := NewSummarizer(31)
+	sums := make([]*SetSummary, 3)
+	ws := make([]*PPSSummary, 2)
+	for i, set := range sets {
+		sums[i] = s.SummarizeSet(i, set, 0.3)
+	}
+	for i := 0; i < 2; i++ {
+		in := make(dataset.Instance, len(sets[i]))
+		rng := randx.New(uint64(i))
+		for h := range sets[i] {
+			in[h] = math.Floor(1 + 30*rng.Float64())
+		}
+		ws[i] = s.SummarizePPS(i, in, sampling.TauForExpectedSize(in, 200))
+	}
+	d1, err := DistinctCountMulti(sums, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := MaxDominance(ws[0], ws[1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		d2, _ := DistinctCountMulti(sums, nil)
+		m2, _ := MaxDominance(ws[0], ws[1], nil)
+		if d2 != d1 || m2 != m1 {
+			t.Fatalf("query results drifted between runs: %+v vs %+v, %+v vs %+v", d2, d1, m2, m1)
+		}
+	}
+}

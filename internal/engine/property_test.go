@@ -144,4 +144,3 @@ func TestMergeBottomKDirect(t *testing.T) {
 	got := sampling.MergeBottomK(k, sampling.PPS{}, skewA.Entries(), skewB.Entries())
 	sameSample(t, got, ref.Snapshot(), "skewed merge")
 }
-

@@ -39,12 +39,21 @@ func (s *WeightedSample) InclusionProb(w float64) float64 {
 
 // SubsetSum estimates Σ_{h∈sel} v(h) with inverse-probability weights
 // (HT for Poisson, rank-conditioning for bottom-k). A nil sel selects all.
+// Terms are accumulated in ascending key order, not map order, so equal
+// samples produce bit-identical estimates on every run — the
+// reproducibility contract dispersed post-hoc queries rely on.
 func (s *WeightedSample) SubsetSum(sel func(dataset.Key) bool) float64 {
+	keys := make([]dataset.Key, 0, len(s.Values))
+	for h := range s.Values {
+		keys = append(keys, h)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	total := 0.0
-	for h, v := range s.Values {
+	for _, h := range keys {
 		if sel != nil && !sel(h) {
 			continue
 		}
+		v := s.Values[h]
 		p := s.InclusionProb(v)
 		if p > 0 {
 			total += v / p

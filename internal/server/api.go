@@ -1,0 +1,28 @@
+package server
+
+import "repro/pkg/api"
+
+// The v1 response bodies live in pkg/api so that importers of pkg/client
+// can name them; the aliases keep this package's handlers reading
+// naturally.
+
+// PostResult = api.PostResult.
+type PostResult = api.PostResult
+
+// DatasetInfo = api.DatasetInfo.
+type DatasetInfo = api.DatasetInfo
+
+// DistinctResult = api.DistinctResult.
+type DistinctResult = api.DistinctResult
+
+// DominanceResult = api.DominanceResult.
+type DominanceResult = api.DominanceResult
+
+// QuantileResult = api.QuantileResult.
+type QuantileResult = api.QuantileResult
+
+// SumResult = api.SumResult.
+type SumResult = api.SumResult
+
+// ErrorResult = api.ErrorResult.
+type ErrorResult = api.ErrorResult

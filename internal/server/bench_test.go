@@ -1,0 +1,57 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sampling"
+	"repro/pkg/client"
+)
+
+// BenchmarkServerQuery measures the full HTTP round trip of a
+// max-dominance query over two stored ~1000-key PPS summaries — the
+// steady-state read path of a dispersed deployment.
+func BenchmarkServerQuery(b *testing.B) {
+	sites := fixture(10000)
+	c, closeSrv := startServer(b, engine.Config{})
+	defer closeSrv()
+	ctx := context.Background()
+	summ := core.NewSummarizer(testSalt)
+	for i := 0; i < 2; i++ {
+		tau := sampling.TauForExpectedSize(sites[i], 1000)
+		if _, err := c.PostSummary(ctx, "flows", summ.SummarizePPS(i, sites[i], tau)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.MaxDominance(ctx, "flows", 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestNDJSON measures the write path: a 10k-pair ndjson stream
+// posted to /v1/ingest and summarized on arrival. b.SetBytes reports
+// stream throughput.
+func BenchmarkIngestNDJSON(b *testing.B) {
+	sites := fixture(10000)
+	body := ndjsonBody(sites[0])
+	tau := sampling.TauForExpectedSize(sites[0], 1000)
+	c, closeSrv := startServer(b, engine.Config{})
+	defer closeSrv()
+	ctx := context.Background()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Ingest(ctx, client.IngestOptions{
+			Dataset: "flows", Instance: 0, Kind: "pps", Format: "ndjson",
+			Salt: testSalt, SaltSet: true, Tau: tau,
+		}, bytes.NewReader(body)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

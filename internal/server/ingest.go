@@ -1,0 +1,276 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/sampling"
+)
+
+// The ingest path is the "summarize where the data lands" half of the
+// dispersed-data loop: an edge site that cannot (or should not) ship its
+// raw pair stream POSTs it to a local summaryd, which streams it through
+// the sharded engine pipeline and registers only the compact summary.
+
+// maxIngestLine bounds one CSV/ndjson line.
+const maxIngestLine = 1 << 20
+
+// maxIngestBody bounds one raw ingest request. The cap also bounds the
+// per-request key-uniqueness map in scanPairs, so a single request cannot
+// grow server memory without limit. Instances too large to ship within
+// the cap are exactly the ones that should be summarized at the edge and
+// POSTed to /v1/summaries instead — that is the primary dispersed
+// workflow; raw ingest is the convenience path for thin producers.
+const maxIngestBody = 256 << 20
+
+// ingestParams carries the parsed, validated parameters of one ingest
+// request.
+type ingestParams struct {
+	dataset  string
+	instance int
+	kind     string
+	format   string
+	tau      float64             // pps
+	k        int                 // bottomk
+	fam      sampling.RankFamily // bottomk
+	p        float64             // set
+	summ     *core.Summarizer
+}
+
+// parseIngestParams validates the query string against the registry state:
+// an existing dataset pins the salt, coordination mode, and kind (an
+// explicit conflict is rejected up front, before the body is read); a new
+// dataset requires an explicit salt.
+func (s *Server) parseIngestParams(r *http.Request) (ingestParams, error) {
+	q := r.URL.Query()
+	out := ingestParams{dataset: q.Get("dataset"), kind: q.Get("kind")}
+	if out.dataset == "" {
+		return out, fmt.Errorf("server: missing dataset parameter")
+	}
+	instance, err := strconv.Atoi(q.Get("instance"))
+	if err != nil {
+		return out, fmt.Errorf("server: ingest needs an instance parameter: %w", err)
+	}
+	out.instance = instance
+
+	shared := false
+	sharedGiven := q.Get("shared") != ""
+	if sharedGiven {
+		if shared, err = strconv.ParseBool(q.Get("shared")); err != nil {
+			return out, fmt.Errorf("server: invalid shared parameter %q", q.Get("shared"))
+		}
+	}
+	var salt uint64
+	saltGiven := q.Get("salt") != ""
+	if saltGiven {
+		if salt, err = strconv.ParseUint(q.Get("salt"), 10, 64); err != nil {
+			return out, fmt.Errorf("server: invalid salt parameter: %w", err)
+		}
+	}
+	switch out.kind {
+	case "pps":
+		out.tau, err = strconv.ParseFloat(q.Get("tau"), 64)
+		if err != nil || !(out.tau > 0) || math.IsInf(out.tau, 1) {
+			return out, fmt.Errorf("server: pps ingest needs a positive finite tau parameter")
+		}
+	case "bottomk":
+		out.k, err = strconv.Atoi(q.Get("k"))
+		if err != nil || out.k <= 0 {
+			return out, fmt.Errorf("server: bottomk ingest needs a positive k parameter")
+		}
+		switch fam := q.Get("family"); fam {
+		case "", sampling.PPS{}.Name():
+			out.fam = sampling.PPS{}
+		case sampling.EXP{}.Name():
+			out.fam = sampling.EXP{}
+		default:
+			return out, fmt.Errorf("server: unknown rank family %q", fam)
+		}
+	case "set":
+		out.p, err = strconv.ParseFloat(q.Get("p"), 64)
+		if err != nil || !(out.p > 0 && out.p <= 1) {
+			return out, fmt.Errorf("server: set ingest needs a p parameter in (0,1]")
+		}
+	case "":
+		return out, fmt.Errorf("server: missing kind parameter (pps, bottomk, set)")
+	default:
+		return out, fmt.Errorf("server: unknown ingest kind %q (pps, bottomk, set)", out.kind)
+	}
+
+	if info, err := s.reg.Info(out.dataset); err == nil {
+		// The dataset pins randomization and kind; reject an explicit
+		// conflict now (before the body is read) rather than summarizing a
+		// stream under parameters the caller did not ask for.
+		if (saltGiven && salt != info.Salt) || (sharedGiven && shared != info.Shared) {
+			return out, fmt.Errorf("%w: dataset %q uses salt %d (shared=%v)",
+				ErrIncompatible, out.dataset, info.Salt, info.Shared)
+		}
+		if out.kind != info.Kind {
+			return out, fmt.Errorf("%w: dataset %q holds %s summaries, got %s",
+				ErrIncompatible, out.dataset, info.Kind, out.kind)
+		}
+		salt, shared = info.Salt, info.Shared
+	} else if !saltGiven {
+		return out, fmt.Errorf("server: new dataset %q needs a salt parameter", out.dataset)
+	}
+	if shared {
+		out.summ = core.NewCoordinatedSummarizer(salt)
+	} else {
+		out.summ = core.NewSummarizer(salt)
+	}
+
+	out.format = q.Get("format")
+	if out.format == "" {
+		if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "text/csv") {
+			out.format = "csv"
+		} else {
+			out.format = "ndjson"
+		}
+	}
+	if out.format != "csv" && out.format != "ndjson" {
+		return out, fmt.Errorf("server: unknown ingest format %q (csv, ndjson)", out.format)
+	}
+	return out, nil
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	p, err := s.parseIngestParams(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// One sink per kind; each routes through the engine pipeline under the
+	// server's config (set sampling is stateless and needs no pipeline).
+	var push func(h dataset.Key, v float64)
+	var finish func() core.Summary
+	switch p.kind {
+	case "pps":
+		st := p.summ.StreamPPS(s.cfg, p.instance, p.tau)
+		push = st.Push
+		finish = func() core.Summary { return st.Close() }
+	case "bottomk":
+		st := p.summ.StreamBottomK(s.cfg, p.instance, p.k, p.fam)
+		push = st.Push
+		finish = func() core.Summary { return st.Close() }
+	case "set":
+		st := p.summ.StreamSet(p.instance, p.p)
+		push = func(h dataset.Key, _ float64) { st.Push(h) }
+		finish = func() core.Summary { return st.Close() }
+	}
+	pairs, err := scanPairs(http.MaxBytesReader(w, r.Body, maxIngestBody), p.format, p.kind == "set", push)
+	// The samplers hold goroutines under a parallel config; always drain.
+	sum := finish()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.reg.Put(p.dataset, sum); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, PostResult{
+		Dataset:  p.dataset,
+		Instance: sum.InstanceID(),
+		Kind:     sum.Kind(),
+		Size:     sum.Size(),
+		Pairs:    pairs,
+	})
+}
+
+// scanPairs streams (key, value) pairs out of a CSV or ndjson body into
+// push, returning the number of pairs consumed. CSV lines are
+// "key,value" ("key" alone when keysOnly; a leading "key,value" header is
+// tolerated); ndjson lines are {"key": u64, "value": f64}. Values must be
+// nonnegative and finite; zero-valued pairs are legal (weighted samplers
+// never retain them).
+//
+// The instances×keys model assigns one value per key per instance, and
+// the engine's streaming samplers rely on it (a repeated key corrupts
+// bottom-k heap state). Unless keysOnly (set sampling, where a repeated
+// member is harmless and deduplication is implicit), scanPairs therefore
+// rejects a stream that repeats a key — producers must aggregate per-key
+// before ingesting. The uniqueness check costs one map entry per pair,
+// the same order as the decode work already done per line.
+func scanPairs(body io.Reader, format string, keysOnly bool, push func(dataset.Key, float64)) (int64, error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64*1024), maxIngestLine)
+	var pairs int64
+	lineNo := 0
+	var seen map[uint64]struct{}
+	if !keysOnly {
+		seen = make(map[uint64]struct{})
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var key uint64
+		var value float64
+		switch format {
+		case "csv":
+			if lineNo == 1 && (line == "key,value" || line == "key") {
+				continue
+			}
+			fields := strings.SplitN(line, ",", 3)
+			if len(fields) > 2 {
+				return pairs, fmt.Errorf("server: csv line %d: expected key,value, got extra columns %q", lineNo, fields[2])
+			}
+			k, err := strconv.ParseUint(strings.TrimSpace(fields[0]), 10, 64)
+			if err != nil {
+				return pairs, fmt.Errorf("server: csv line %d: bad key: %w", lineNo, err)
+			}
+			key = k
+			if len(fields) > 1 {
+				v, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+				if err != nil {
+					return pairs, fmt.Errorf("server: csv line %d: bad value: %w", lineNo, err)
+				}
+				value = v
+			} else if !keysOnly {
+				return pairs, fmt.Errorf("server: csv line %d: weighted ingest needs key,value", lineNo)
+			}
+		case "ndjson":
+			var rec struct {
+				Key   *uint64  `json:"key"`
+				Value *float64 `json:"value"`
+			}
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				return pairs, fmt.Errorf("server: ndjson line %d: %w", lineNo, err)
+			}
+			if rec.Key == nil {
+				return pairs, fmt.Errorf("server: ndjson line %d: missing key", lineNo)
+			}
+			key = *rec.Key
+			if rec.Value != nil {
+				value = *rec.Value
+			} else if !keysOnly {
+				return pairs, fmt.Errorf("server: ndjson line %d: weighted ingest needs a value", lineNo)
+			}
+		}
+		if value < 0 || math.IsNaN(value) || math.IsInf(value, 0) {
+			return pairs, fmt.Errorf("server: line %d: value %v outside [0, +Inf)", lineNo, value)
+		}
+		if seen != nil {
+			if _, dup := seen[key]; dup {
+				return pairs, fmt.Errorf("server: line %d: key %d repeated; weighted ingest needs one value per key (aggregate before posting)", lineNo, key)
+			}
+			seen[key] = struct{}{}
+		}
+		push(dataset.Key(key), value)
+		pairs++
+	}
+	if err := sc.Err(); err != nil {
+		return pairs, fmt.Errorf("server: reading pair stream: %w", err)
+	}
+	return pairs, nil
+}

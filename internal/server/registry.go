@@ -1,0 +1,159 @@
+// Package server is the summary server: an HTTP subsystem that accepts
+// independently built summaries (the internal/core JSON wire format, or
+// raw pair streams summarized on arrival through the sharded
+// internal/engine pipeline) and answers multi-instance queries — distinct
+// counts, max-dominance norms, per-key quantiles — over any stored subset
+// with the §5 partial-information estimators.
+//
+// This is the paper's dispersed-data story end to end (§1, §2): each data
+// instance is summarized where the data lands, only the compact summaries
+// travel, and any party holding a subset of them can run exact
+// post-hoc estimation, because the hash salt shipped with every summary
+// makes all seeds recomputable.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/xhash"
+)
+
+// Registry errors, distinguished so HTTP handlers can map them to status
+// codes (404 vs 409).
+var (
+	// ErrNotFound reports a dataset or instance that is not registered.
+	ErrNotFound = errors.New("server: not found")
+	// ErrIncompatible reports a summary that cannot be combined with the
+	// dataset it was posted to: different salt, coordination mode, or
+	// summary kind.
+	ErrIncompatible = errors.New("server: incompatible summary")
+)
+
+// Registry is the in-memory summary store, keyed by dataset name and
+// instance index. All summaries of one dataset share a randomization
+// (salt + coordination mode) and a kind; the first summary posted fixes
+// them, and later posts must match — the compatibility invariant that
+// makes every stored subset combinable exactly.
+//
+// Registered summaries are treated as immutable: Put replaces whole
+// entries (last write per (dataset, instance) wins) and queries only read,
+// so readers never observe partial state.
+type Registry struct {
+	mu       sync.RWMutex
+	datasets map[string]*datasetEntry
+}
+
+type datasetEntry struct {
+	kind       string
+	seeder     xhash.Seeder
+	byInstance map[int]core.Summary
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{datasets: make(map[string]*datasetEntry)}
+}
+
+// Put registers a summary under the named dataset, creating the dataset on
+// first use. It returns ErrIncompatible (wrapped with the specific
+// mismatch) when the summary's salt, coordination mode, or kind differ
+// from the dataset's. Re-posting an instance replaces its summary.
+func (r *Registry) Put(dataset string, s core.Summary) error {
+	if dataset == "" {
+		return fmt.Errorf("server: empty dataset name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.datasets[dataset]
+	if !ok {
+		e = &datasetEntry{
+			kind:       s.Kind(),
+			seeder:     core.SummarySeeder(s),
+			byInstance: make(map[int]core.Summary),
+		}
+		r.datasets[dataset] = e
+	}
+	if s.Kind() != e.kind {
+		return fmt.Errorf("%w: dataset %q holds %s summaries, got %s",
+			ErrIncompatible, dataset, e.kind, s.Kind())
+	}
+	if sd := core.SummarySeeder(s); sd != e.seeder {
+		return fmt.Errorf("%w: dataset %q uses salt %d (shared=%v), got salt %d (shared=%v)",
+			ErrIncompatible, dataset, e.seeder.Salt, e.seeder.Shared, sd.Salt, sd.Shared)
+	}
+	e.byInstance[s.InstanceID()] = s
+	return nil
+}
+
+// Get returns the summaries of the requested instances, in the order
+// given. A nil or empty instance list selects every stored instance in
+// ascending order.
+func (r *Registry) Get(dataset string, instances []int) ([]core.Summary, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.datasets[dataset]
+	if !ok {
+		return nil, fmt.Errorf("%w: dataset %q", ErrNotFound, dataset)
+	}
+	if len(instances) == 0 {
+		instances = make([]int, 0, len(e.byInstance))
+		for i := range e.byInstance {
+			instances = append(instances, i)
+		}
+		sort.Ints(instances)
+	}
+	out := make([]core.Summary, len(instances))
+	for j, i := range instances {
+		s, ok := e.byInstance[i]
+		if !ok {
+			return nil, fmt.Errorf("%w: dataset %q has no instance %d", ErrNotFound, dataset, i)
+		}
+		out[j] = s
+	}
+	return out, nil
+}
+
+// Info describes one dataset. Ingest uses it to bind new raw streams to
+// the dataset's existing salt, coordination mode, and kind before reading
+// the request body.
+func (r *Registry) Info(dataset string) (DatasetInfo, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.datasets[dataset]
+	if !ok {
+		return DatasetInfo{}, fmt.Errorf("%w: dataset %q", ErrNotFound, dataset)
+	}
+	return e.info(dataset), nil
+}
+
+// List describes every dataset, sorted by name.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(r.datasets))
+	for name, e := range r.datasets {
+		out = append(out, e.info(name))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dataset < out[j].Dataset })
+	return out
+}
+
+func (e *datasetEntry) info(name string) DatasetInfo {
+	info := DatasetInfo{
+		Dataset:   name,
+		Kind:      e.kind,
+		Salt:      e.seeder.Salt,
+		Shared:    e.seeder.Shared,
+		Instances: make([]int, 0, len(e.byInstance)),
+	}
+	for i, s := range e.byInstance {
+		info.Instances = append(info.Instances, i)
+		info.Keys += s.Size()
+	}
+	sort.Ints(info.Instances)
+	return info
+}

@@ -1,0 +1,275 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// maxSummaryBody bounds a posted summary body. 64 MiB holds tens of
+// millions of wire-format entries — far beyond any sensible summary (the
+// whole point of summarization is that these are small).
+const maxSummaryBody = 64 << 20
+
+// Server is the HTTP face of a Registry. It is an http.Handler serving:
+//
+//	GET  /healthz              liveness probe
+//	GET  /v1/datasets          list registered datasets
+//	GET  /v1/summaries         fetch one stored summary in wire form
+//	POST /v1/summaries         store a summary (core JSON wire format)
+//	POST /v1/ingest            summarize a raw CSV/ndjson pair stream
+//	GET  /v1/query             estimate over a stored subset
+//
+// Every error response is JSON: {"error": "..."}.
+type Server struct {
+	reg *Registry
+	cfg engine.Config
+	mux *http.ServeMux
+}
+
+// New builds a server around a registry. The engine config selects the
+// summarization strategy of the ingest path (zero value = sequential; see
+// engine.Config for the sharded variants).
+func New(reg *Registry, cfg engine.Config) *Server {
+	s := &Server{reg: reg, cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /v1/summaries", s.handleFetchSummary)
+	s.mux.HandleFunc("POST /v1/summaries", s.handlePostSummary)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps a registry/decode error to its status code.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrIncompatible):
+		status = http.StatusConflict
+	case errors.Is(err, core.ErrUnknownVersion):
+		// A future wire format: tell the poster to negotiate down rather
+		// than hiding the cause in a generic 400.
+		status = http.StatusUnsupportedMediaType
+	}
+	writeJSON(w, status, ErrorResult{Error: err.Error()})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+func (s *Server) handlePostSummary(w http.ResponseWriter, r *http.Request) {
+	ds := r.URL.Query().Get("dataset")
+	if ds == "" {
+		writeError(w, fmt.Errorf("server: missing dataset parameter"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSummaryBody))
+	if err != nil {
+		writeError(w, fmt.Errorf("server: reading summary body: %w", err))
+		return
+	}
+	sum, err := core.DecodeSummary(body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.reg.Put(ds, sum); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, PostResult{
+		Dataset:  ds,
+		Instance: sum.InstanceID(),
+		Kind:     sum.Kind(),
+		Size:     sum.Size(),
+	})
+}
+
+func (s *Server) handleFetchSummary(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	ds := q.Get("dataset")
+	instance, err := strconv.Atoi(q.Get("instance"))
+	if ds == "" || err != nil {
+		writeError(w, fmt.Errorf("server: fetch needs dataset and instance parameters"))
+		return
+	}
+	sums, err := s.reg.Get(ds, []int{instance})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	data, err := json.Marshal(sums[0])
+	if err != nil {
+		writeError(w, fmt.Errorf("server: encoding summary: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	ds := q.Get("dataset")
+	if ds == "" {
+		writeError(w, fmt.Errorf("server: missing dataset parameter"))
+		return
+	}
+	instances, err := parseInstances(q.Get("instances"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	sums, err := s.reg.Get(ds, instances)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	got := make([]int, len(sums))
+	for i, sum := range sums {
+		got[i] = sum.InstanceID()
+	}
+	switch query := q.Get("q"); query {
+	case "distinct":
+		sets, err := asKind[*core.SetSummary](sums, "set", "distinct")
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		est, err := core.DistinctCountMulti(sets, nil)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, DistinctResult{
+			Dataset: ds, Instances: got,
+			HT: est.HT, L: est.L, KeysUsed: est.KeysUsed,
+		})
+	case "maxdominance":
+		pps, err := asKind[*core.PPSSummary](sums, "pps", "maxdominance")
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if len(pps) != 2 {
+			writeError(w, fmt.Errorf("server: maxdominance needs exactly 2 instances, got %d (pass instances=i,j)", len(pps)))
+			return
+		}
+		est, err := core.MaxDominance(pps[0], pps[1], nil)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, DominanceResult{
+			Dataset: ds, Instances: got,
+			HT: est.HT, L: est.L, KeysUsed: est.KeysUsed,
+		})
+	case "quantile":
+		pps, err := asKind[*core.PPSSummary](sums, "pps", "quantile")
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		key, err := strconv.ParseUint(q.Get("key"), 10, 64)
+		if err != nil {
+			writeError(w, fmt.Errorf("server: quantile needs a key parameter: %w", err))
+			return
+		}
+		l := 1
+		if v := q.Get("l"); v != "" {
+			if l, err = strconv.Atoi(v); err != nil {
+				writeError(w, fmt.Errorf("server: invalid quantile index %q", v))
+				return
+			}
+		}
+		est, err := core.QuantilePPS(pps, dataset.Key(key), l)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, QuantileResult{
+			Dataset: ds, Instances: got, Key: key, Index: l,
+			HT: est.HT, Sampled: est.Sampled,
+		})
+	case "sum":
+		if len(sums) != 1 {
+			writeError(w, fmt.Errorf("server: sum is a single-instance query, got %d instances (pass instances=i)", len(sums)))
+			return
+		}
+		var total float64
+		switch sum := sums[0].(type) {
+		case *core.PPSSummary:
+			total = sum.SubsetSum(nil)
+		case *core.BottomKSummary:
+			total = sum.SubsetSum(nil)
+		case *core.SetSummary:
+			// HT cardinality estimate of the underlying set.
+			total = float64(sum.Len()) / sum.P
+		default:
+			writeError(w, fmt.Errorf("server: sum not supported for kind %s", sums[0].Kind()))
+			return
+		}
+		writeJSON(w, http.StatusOK, SumResult{Dataset: ds, Instance: got[0], Sum: total})
+	case "":
+		writeError(w, fmt.Errorf("server: missing q parameter (distinct, maxdominance, quantile, sum)"))
+	default:
+		writeError(w, fmt.Errorf("server: unknown query %q (distinct, maxdominance, quantile, sum)", query))
+	}
+}
+
+// asKind narrows stored summaries to the concrete type a query dispatches
+// on, naming the query in the error.
+func asKind[T core.Summary](sums []core.Summary, kind, query string) ([]T, error) {
+	out := make([]T, len(sums))
+	for i, s := range sums {
+		t, ok := s.(T)
+		if !ok {
+			return nil, fmt.Errorf("server: %s requires %s summaries, dataset holds %s", query, kind, s.Kind())
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// parseInstances parses a comma-separated instance list ("" means all).
+func parseInstances(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("server: invalid instance list %q: %w", s, err)
+		}
+		out[i] = n
+	}
+	return out, nil
+}

@@ -1,0 +1,384 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/randx"
+	"repro/internal/sampling"
+	"repro/internal/server"
+	"repro/pkg/client"
+)
+
+const testSalt = 2011
+
+// fixture builds three overlapping weighted instances.
+func fixture(n int) []dataset.Instance {
+	rng := randx.New(11)
+	sites := make([]dataset.Instance, 3)
+	for i := range sites {
+		sites[i] = make(dataset.Instance)
+	}
+	for k := 1; k <= n; k++ {
+		h := dataset.Key(k)
+		placed := false
+		for i := range sites {
+			if rng.Float64() < 0.6 {
+				sites[i][h] = math.Floor(1 + 40*rng.Float64())
+				placed = true
+			}
+		}
+		if !placed {
+			sites[rng.Intn(3)][h] = math.Floor(1 + 40*rng.Float64())
+		}
+	}
+	return sites
+}
+
+func members(in dataset.Instance) map[dataset.Key]bool {
+	m := make(map[dataset.Key]bool, len(in))
+	for h := range in {
+		m[h] = true
+	}
+	return m
+}
+
+func ndjsonBody(in dataset.Instance) []byte {
+	var buf bytes.Buffer
+	for _, h := range in.Keys() {
+		fmt.Fprintf(&buf, "{\"key\":%d,\"value\":%g}\n", uint64(h), in[h])
+	}
+	return buf.Bytes()
+}
+
+func csvBody(in dataset.Instance) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("key,value\n")
+	for _, h := range in.Keys() {
+		fmt.Fprintf(&buf, "%d,%g\n", uint64(h), in[h])
+	}
+	return buf.Bytes()
+}
+
+func startServer(t testing.TB, cfg engine.Config) (*client.Client, func()) {
+	t.Helper()
+	ts := httptest.NewServer(server.New(server.NewRegistry(), cfg))
+	return client.New(ts.URL, ts.Client()), ts.Close
+}
+
+// TestServerEndToEnd drives the full dispersed loop over HTTP — post a
+// wire-format summary, ingest raw ndjson and CSV streams — and checks
+// every query answer is bit-identical to the corresponding in-process
+// estimate, under both the sequential and the sharded ingest pipeline.
+func TestServerEndToEnd(t *testing.T) {
+	for _, cfg := range []engine.Config{
+		{},
+		{Parallel: true, Shards: 3, BatchSize: 64},
+	} {
+		name := "sequential"
+		if cfg.Parallel {
+			name = "sharded"
+		}
+		t.Run(name, func(t *testing.T) {
+			sites := fixture(1500)
+			c, closeSrv := startServer(t, cfg)
+			defer closeSrv()
+			ctx := context.Background()
+			if err := c.Health(ctx); err != nil {
+				t.Fatal(err)
+			}
+
+			summ := core.NewSummarizer(testSalt)
+			taus := make([]float64, 3)
+			for i, in := range sites {
+				taus[i] = sampling.TauForExpectedSize(in, 150)
+			}
+
+			// Site 0 posts wire summaries; sites 1 and 2 ingest raw.
+			pps0 := summ.SummarizePPS(0, sites[0], taus[0])
+			if _, err := c.PostSummary(ctx, "flows", pps0); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.PostSummary(ctx, "actives", summ.SummarizeSet(0, members(sites[0]), 0.3)); err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Ingest(ctx, client.IngestOptions{
+				Dataset: "flows", Instance: 1, Kind: "pps", Format: "ndjson",
+				Salt: testSalt, SaltSet: true, Tau: taus[1],
+			}, bytes.NewReader(ndjsonBody(sites[1])))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Pairs != int64(len(sites[1])) {
+				t.Fatalf("ingest consumed %d pairs, want %d", res.Pairs, len(sites[1]))
+			}
+			if _, err := c.Ingest(ctx, client.IngestOptions{
+				Dataset: "flows", Instance: 2, Kind: "pps", Format: "csv",
+				Salt: testSalt, SaltSet: true, Tau: taus[2],
+			}, bytes.NewReader(csvBody(sites[2]))); err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= 2; i++ {
+				if _, err := c.Ingest(ctx, client.IngestOptions{
+					Dataset: "actives", Instance: i, Kind: "set", Format: "ndjson",
+					Salt: testSalt, SaltSet: true, P: 0.3,
+				}, bytes.NewReader(ndjsonBody(sites[i]))); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// In-process reference summaries (identical by construction).
+			ppsLocal := []*core.PPSSummary{
+				pps0,
+				summ.SummarizePPS(1, sites[1], taus[1]),
+				summ.SummarizePPS(2, sites[2], taus[2]),
+			}
+			setLocal := make([]*core.SetSummary, 3)
+			for i, in := range sites {
+				setLocal[i] = summ.SummarizeSet(i, members(in), 0.3)
+			}
+
+			srvD, err := c.Distinct(ctx, "actives")
+			if err != nil {
+				t.Fatal(err)
+			}
+			locD, err := core.DistinctCountMulti(setLocal, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if srvD.HT != locD.HT || srvD.L != locD.L || srvD.KeysUsed != locD.KeysUsed {
+				t.Errorf("distinct: server %+v != direct %+v", srvD, locD)
+			}
+
+			srvM, err := c.MaxDominance(ctx, "flows", 0, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			locM, err := core.MaxDominance(ppsLocal[0], ppsLocal[2], nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if srvM.HT != locM.HT || srvM.L != locM.L || srvM.KeysUsed != locM.KeysUsed {
+				t.Errorf("maxdominance: server %+v != direct %+v", srvM, locM)
+			}
+
+			// A key sampled everywhere gives a determined (positive) median.
+			var hot dataset.Key
+			for h := range ppsLocal[0].Sample.Values {
+				if _, ok := ppsLocal[1].Sample.Values[h]; !ok {
+					continue
+				}
+				if _, ok := ppsLocal[2].Sample.Values[h]; ok {
+					hot = h
+					break
+				}
+			}
+			srvQ, err := c.Quantile(ctx, "flows", uint64(hot), 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			locQ, err := core.QuantilePPS(ppsLocal, hot, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if srvQ.HT != locQ.HT || srvQ.Sampled != locQ.Sampled {
+				t.Errorf("quantile: server %+v != direct %+v", srvQ, locQ)
+			}
+
+			srvS, err := c.Sum(ctx, "flows", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loc := ppsLocal[1].SubsetSum(nil); srvS.Sum != loc {
+				t.Errorf("sum: server %v != direct %v", srvS.Sum, loc)
+			}
+
+			infos, err := c.Datasets(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(infos) != 2 || infos[0].Dataset != "actives" || len(infos[0].Instances) != 3 {
+				t.Errorf("unexpected dataset listing: %+v", infos)
+			}
+		})
+	}
+}
+
+// TestServerFetchRoundTrip: a stored summary fetched back decodes and
+// combines with locally built ones.
+func TestServerFetchRoundTrip(t *testing.T) {
+	sites := fixture(400)
+	c, closeSrv := startServer(t, engine.Config{})
+	defer closeSrv()
+	ctx := context.Background()
+	summ := core.NewSummarizer(testSalt)
+	tau := sampling.TauForExpectedSize(sites[0], 80)
+	if _, err := c.Ingest(ctx, client.IngestOptions{
+		Dataset: "flows", Instance: 0, Kind: "pps", Format: "ndjson",
+		Salt: testSalt, SaltSet: true, Tau: tau,
+	}, bytes.NewReader(ndjsonBody(sites[0]))); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := c.FetchSummary(ctx, "flows", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.DecodeSummary(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := summ.SummarizePPS(0, sites[0], tau)
+	if !core.Combinable(got.(*core.PPSSummary), want) {
+		t.Error("fetched summary not combinable with a local one")
+	}
+	if got.Size() != want.Len() {
+		t.Errorf("fetched %d keys, want %d", got.Size(), want.Len())
+	}
+}
+
+// TestServerErrors pins the status codes of the failure modes: unknown
+// version (415), incompatibility (409), absence (404), bad requests (400).
+func TestServerErrors(t *testing.T) {
+	sites := fixture(200)
+	c, closeSrv := startServer(t, engine.Config{})
+	defer closeSrv()
+	ctx := context.Background()
+	summ := core.NewSummarizer(testSalt)
+	if _, err := c.PostSummary(ctx, "flows", summ.SummarizePPS(0, sites[0], 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PostSummary(ctx, "actives", summ.SummarizeSet(0, members(sites[0]), 0.5)); err != nil {
+		t.Fatal(err)
+	}
+
+	expect := func(name string, err error, fragment string) {
+		t.Helper()
+		if err == nil {
+			t.Errorf("%s: expected an error", name)
+			return
+		}
+		if !strings.Contains(err.Error(), fragment) {
+			t.Errorf("%s: error %q does not mention %q", name, err, fragment)
+		}
+	}
+
+	// Future wire version → 415 with the version in the message, even
+	// when the kind tag is one this build has never heard of.
+	_, err := c.PostSummary(ctx, "flows", json.RawMessage(`{"version":9,"kind":"pps","tau":1}`))
+	expect("unknown version", err, "HTTP 415")
+	expect("unknown version", err, "version 9")
+	_, err = c.PostSummary(ctx, "flows", json.RawMessage(`{"version":2,"kind":"varopt"}`))
+	expect("future kind", err, "HTTP 415")
+
+	// Wrong salt and wrong kind → 409.
+	other := core.NewSummarizer(999)
+	_, err = c.PostSummary(ctx, "flows", other.SummarizePPS(1, sites[1], 10))
+	expect("salt mismatch", err, "HTTP 409")
+	_, err = c.PostSummary(ctx, "flows", summ.SummarizeSet(1, members(sites[1]), 0.5))
+	expect("kind mismatch", err, "HTTP 409")
+	_, err = c.Ingest(ctx, client.IngestOptions{
+		Dataset: "flows", Instance: 1, Kind: "pps",
+		Salt: 999, SaltSet: true, Tau: 10,
+	}, bytes.NewReader(nil))
+	expect("ingest salt mismatch", err, "HTTP 409")
+	// An explicit coordination-mode conflict is rejected even without a
+	// salt parameter, and before the body is read.
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL()+"/v1/ingest?dataset=flows&instance=1&kind=pps&tau=10&shared=true", bytes.NewReader(nil))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("shared conflict: got HTTP %d, want 409", resp.StatusCode)
+	}
+	// A kind mismatch against an existing dataset is a 409 too.
+	_, err = c.Ingest(ctx, client.IngestOptions{
+		Dataset: "flows", Instance: 1, Kind: "set", P: 0.5,
+	}, bytes.NewReader(nil))
+	expect("ingest kind mismatch", err, "HTTP 409")
+
+	// Absences → 404.
+	_, err = c.Distinct(ctx, "nope")
+	expect("unknown dataset", err, "HTTP 404")
+	_, err = c.Sum(ctx, "flows", 7)
+	expect("unknown instance", err, "HTTP 404")
+
+	// Bad requests → 400.
+	_, err = c.MaxDominance(ctx, "flows", 0, 0)
+	expect("duplicate instances", err, "HTTP 400")
+	_, err = c.Quantile(ctx, "flows", 1, 5, 0)
+	expect("bad quantile", err, "HTTP 400")
+	_, err = c.Distinct(ctx, "flows")
+	expect("distinct on pps", err, "HTTP 400")
+	_, err = c.Ingest(ctx, client.IngestOptions{
+		Dataset: "fresh", Instance: 0, Kind: "pps", Tau: 10,
+	}, bytes.NewReader(nil))
+	expect("missing salt", err, "HTTP 400")
+	_, err = c.Ingest(ctx, client.IngestOptions{
+		Dataset: "fresh", Instance: 0, Kind: "pps",
+		Salt: 1, SaltSet: true, Tau: 10, Format: "csv",
+	}, strings.NewReader("key,value\nnot-a-key,3\n"))
+	expect("bad csv", err, "HTTP 400")
+	_, err = c.Ingest(ctx, client.IngestOptions{
+		Dataset: "fresh", Instance: 0, Kind: "pps",
+		Salt: 1, SaltSet: true, Tau: 10, Format: "ndjson",
+	}, strings.NewReader(`{"key":1,"value":-2}`+"\n"))
+	expect("negative value", err, "HTTP 400")
+	// A weighted stream repeating a key violates the one-value-per-key
+	// model (and would corrupt bottom-k sampler state).
+	_, err = c.Ingest(ctx, client.IngestOptions{
+		Dataset: "fresh", Instance: 0, Kind: "bottomk", K: 3,
+		Salt: 1, SaltSet: true, Format: "csv",
+	}, strings.NewReader("1,5\n1,5\n2,7\n"))
+	expect("duplicate key", err, "HTTP 400")
+	expect("duplicate key", err, "repeated")
+	// Set ingest deduplicates implicitly: repeated members are fine.
+	if _, err := c.Ingest(ctx, client.IngestOptions{
+		Dataset: "freshset", Instance: 0, Kind: "set", P: 0.9,
+		Salt: 1, SaltSet: true, Format: "csv",
+	}, strings.NewReader("1\n1\n2\n")); err != nil {
+		t.Errorf("set ingest with repeated member: %v", err)
+	}
+}
+
+// TestServerRejectsCoordinatedQueries: coordinated (shared-seed) datasets
+// can be stored and fetched, but the independent-seed query estimators
+// must refuse them rather than answer with biased numbers.
+func TestServerRejectsCoordinatedQueries(t *testing.T) {
+	sites := fixture(200)
+	c, closeSrv := startServer(t, engine.Config{})
+	defer closeSrv()
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Ingest(ctx, client.IngestOptions{
+			Dataset: "coord", Instance: i, Kind: "pps", Format: "ndjson",
+			Salt: testSalt, SaltSet: true, Shared: true, Tau: 10,
+		}, bytes.NewReader(ndjsonBody(sites[i]))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.MaxDominance(ctx, "coord", 0, 1); err == nil ||
+		!strings.Contains(err.Error(), "HTTP 400") {
+		t.Errorf("maxdominance on coordinated dataset: got %v, want HTTP 400", err)
+	}
+	if _, err := c.Quantile(ctx, "coord", 1, 1); err == nil ||
+		!strings.Contains(err.Error(), "HTTP 400") {
+		t.Errorf("quantile on coordinated dataset: got %v, want HTTP 400", err)
+	}
+	// Single-instance sum does not combine instances and stays served.
+	if _, err := c.Sum(ctx, "coord", 0); err != nil {
+		t.Errorf("sum on coordinated dataset: %v", err)
+	}
+}

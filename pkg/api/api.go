@@ -1,0 +1,72 @@
+// Package api defines the request/response bodies of the summary server's
+// v1 HTTP API. The server (internal/server) and the Go client
+// (pkg/client) share these types, so the two sides cannot drift — and
+// they live outside internal/ so importers of pkg/client can name them.
+package api
+
+// PostResult acknowledges a stored summary (posted or built by ingest).
+type PostResult struct {
+	Dataset  string `json:"dataset"`
+	Instance int    `json:"instance"`
+	Kind     string `json:"kind"`
+	// Size is the number of retained keys in the stored summary.
+	Size int `json:"size"`
+	// Pairs is the number of raw pairs consumed; only set by ingest.
+	Pairs int64 `json:"pairs,omitempty"`
+}
+
+// DatasetInfo describes one registered dataset.
+type DatasetInfo struct {
+	Dataset   string `json:"dataset"`
+	Kind      string `json:"kind"`
+	Salt      uint64 `json:"salt"`
+	Shared    bool   `json:"shared"`
+	Instances []int  `json:"instances"`
+	Keys      int    `json:"keys"`
+}
+
+// DistinctResult answers q=distinct: the estimated number of distinct
+// keys across the queried set summaries.
+type DistinctResult struct {
+	Dataset   string  `json:"dataset"`
+	Instances []int   `json:"instances"`
+	HT        float64 `json:"ht"`
+	L         float64 `json:"l"`
+	KeysUsed  int     `json:"keys_used"`
+}
+
+// DominanceResult answers q=maxdominance: the estimated max-dominance norm
+// Σ_h max_i v_i(h) over two PPS summaries.
+type DominanceResult struct {
+	Dataset   string  `json:"dataset"`
+	Instances []int   `json:"instances"`
+	HT        float64 `json:"ht"`
+	L         float64 `json:"l"`
+	KeysUsed  int     `json:"keys_used"`
+}
+
+// QuantileResult answers q=quantile: the estimated ℓ-th largest value of
+// one key across the queried PPS summaries.
+type QuantileResult struct {
+	Dataset   string `json:"dataset"`
+	Instances []int  `json:"instances"`
+	Key       uint64 `json:"key"`
+	// Index is ℓ, 1-based: 1 is the max, r the min.
+	Index int     `json:"index"`
+	HT    float64 `json:"ht"`
+	// Sampled is the number of queried summaries holding the key.
+	Sampled int `json:"sampled"`
+}
+
+// SumResult answers q=sum: the single-instance subset-sum estimate of a
+// weighted summary, or the cardinality estimate of a set summary.
+type SumResult struct {
+	Dataset  string  `json:"dataset"`
+	Instance int     `json:"instance"`
+	Sum      float64 `json:"sum"`
+}
+
+// ErrorResult is the body of every non-2xx response.
+type ErrorResult struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,257 @@
+// Package client is a thin Go client for the summary server (summaryd).
+//
+// It speaks the v1 HTTP API: post summaries in the core JSON wire format,
+// ingest raw CSV/ndjson pair streams (summarized server-side), and run
+// distinct / max-dominance / quantile / sum queries over any stored
+// subset. Response types live in pkg/api and are shared with
+// internal/server, so client and server cannot drift.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/pkg/api"
+)
+
+// Client talks to one summaryd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at base (e.g. "http://127.0.0.1:8080").
+// A nil http.Client uses http.DefaultClient.
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// BaseURL returns the server URL the client was built with.
+func (c *Client) BaseURL() string { return c.base }
+
+// do issues a request and decodes the JSON response into out, mapping
+// non-2xx responses to errors carrying the server's message.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var e api.ErrorResult
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("client: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("client: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) post(ctx context.Context, path string, q url.Values, contentType string, body io.Reader, out any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", contentType)
+	return c.do(req, out)
+}
+
+// Health probes GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.get(ctx, "/healthz", nil, nil)
+}
+
+// Datasets lists the registered datasets.
+func (c *Client) Datasets(ctx context.Context) ([]api.DatasetInfo, error) {
+	var out []api.DatasetInfo
+	err := c.get(ctx, "/v1/datasets", nil, &out)
+	return out, err
+}
+
+// PostSummary stores a summary under the named dataset. The summary is any
+// core summary value (*core.PPSSummary, *core.SetSummary,
+// *core.BottomKSummary) or pre-encoded wire JSON as []byte /
+// json.RawMessage.
+func (c *Client) PostSummary(ctx context.Context, dataset string, summary any) (api.PostResult, error) {
+	var body []byte
+	switch v := summary.(type) {
+	case []byte:
+		body = v
+	case json.RawMessage:
+		body = v
+	default:
+		var err error
+		if body, err = json.Marshal(summary); err != nil {
+			return api.PostResult{}, fmt.Errorf("client: encoding summary: %w", err)
+		}
+	}
+	q := url.Values{"dataset": {dataset}}
+	var out api.PostResult
+	err := c.post(ctx, "/v1/summaries", q, "application/json", bytes.NewReader(body), &out)
+	return out, err
+}
+
+// FetchSummary retrieves one stored summary in wire form; decode it with
+// core.DecodeSummary.
+func (c *Client) FetchSummary(ctx context.Context, dataset string, instance int) (json.RawMessage, error) {
+	q := url.Values{"dataset": {dataset}, "instance": {strconv.Itoa(instance)}}
+	var out json.RawMessage
+	err := c.get(ctx, "/v1/summaries", q, &out)
+	return out, err
+}
+
+// IngestOptions parameterizes a raw-stream ingest. Exactly the fields of
+// the selected kind are consulted: Tau for "pps", K and Family for
+// "bottomk", P for "set".
+type IngestOptions struct {
+	Dataset  string
+	Instance int
+	// Kind is "pps", "bottomk", or "set".
+	Kind string
+	// Format is "csv" or "ndjson" (default ndjson).
+	Format string
+	// Salt and Shared define the randomization when the dataset does not
+	// exist yet; an existing dataset pins both.
+	Salt    uint64
+	SaltSet bool
+	Shared  bool
+	Tau     float64
+	K       int
+	Family  string
+	P       float64
+}
+
+// Ingest streams a raw pair stream to the server, which summarizes it on
+// arrival and registers the result.
+func (c *Client) Ingest(ctx context.Context, opts IngestOptions, stream io.Reader) (api.PostResult, error) {
+	q := url.Values{
+		"dataset":  {opts.Dataset},
+		"instance": {strconv.Itoa(opts.Instance)},
+		"kind":     {opts.Kind},
+	}
+	if opts.Format != "" {
+		q.Set("format", opts.Format)
+	}
+	if opts.SaltSet {
+		q.Set("salt", strconv.FormatUint(opts.Salt, 10))
+		q.Set("shared", strconv.FormatBool(opts.Shared))
+	}
+	switch opts.Kind {
+	case "pps":
+		q.Set("tau", strconv.FormatFloat(opts.Tau, 'g', -1, 64))
+	case "bottomk":
+		q.Set("k", strconv.Itoa(opts.K))
+		if opts.Family != "" {
+			q.Set("family", opts.Family)
+		}
+	case "set":
+		q.Set("p", strconv.FormatFloat(opts.P, 'g', -1, 64))
+	}
+	ct := "application/x-ndjson"
+	if opts.Format == "csv" {
+		ct = "text/csv"
+	}
+	var out api.PostResult
+	err := c.post(ctx, "/v1/ingest", q, ct, stream, &out)
+	return out, err
+}
+
+func instanceList(instances []int) string {
+	parts := make([]string, len(instances))
+	for i, n := range instances {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Distinct estimates the number of distinct keys across the given set-
+// summary instances (all stored instances when none are given).
+func (c *Client) Distinct(ctx context.Context, dataset string, instances ...int) (api.DistinctResult, error) {
+	q := url.Values{"dataset": {dataset}, "q": {"distinct"}}
+	if len(instances) > 0 {
+		q.Set("instances", instanceList(instances))
+	}
+	var out api.DistinctResult
+	err := c.get(ctx, "/v1/query", q, &out)
+	return out, err
+}
+
+// MaxDominance estimates Σ_h max(v_i(h), v_j(h)) over two stored PPS
+// summaries.
+func (c *Client) MaxDominance(ctx context.Context, dataset string, i, j int) (api.DominanceResult, error) {
+	q := url.Values{
+		"dataset":   {dataset},
+		"q":         {"maxdominance"},
+		"instances": {instanceList([]int{i, j})},
+	}
+	var out api.DominanceResult
+	err := c.get(ctx, "/v1/query", q, &out)
+	return out, err
+}
+
+// Quantile estimates the l-th largest value (1-based; 1 = max) of one key
+// across the given PPS-summary instances (all stored instances when none
+// are given).
+func (c *Client) Quantile(ctx context.Context, dataset string, key uint64, l int, instances ...int) (api.QuantileResult, error) {
+	q := url.Values{
+		"dataset": {dataset},
+		"q":       {"quantile"},
+		"key":     {strconv.FormatUint(key, 10)},
+		"l":       {strconv.Itoa(l)},
+	}
+	if len(instances) > 0 {
+		q.Set("instances", instanceList(instances))
+	}
+	var out api.QuantileResult
+	err := c.get(ctx, "/v1/query", q, &out)
+	return out, err
+}
+
+// Sum estimates one stored instance's total: the subset-sum estimate of a
+// weighted summary, or the cardinality estimate of a set summary.
+func (c *Client) Sum(ctx context.Context, dataset string, instance int) (api.SumResult, error) {
+	q := url.Values{
+		"dataset":   {dataset},
+		"q":         {"sum"},
+		"instances": {strconv.Itoa(instance)},
+	}
+	var out api.SumResult
+	err := c.get(ctx, "/v1/query", q, &out)
+	return out, err
+}
