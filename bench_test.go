@@ -399,6 +399,65 @@ func BenchmarkEnginePoissonPPS(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineAsync measures async-mode bottom-k summarization of a
+// 1M-key stream across per-shard queue depths (4 shards, fixed batch):
+// the queue-depth-vs-throughput curve of the bounded-backpressure design.
+// The per-run "stalls" metric counts batch handoffs that found the
+// destination queue full — the engine's explicit backpressure signal.
+func BenchmarkEngineAsync(b *testing.B) {
+	pairs := benchStream(1 << 20)
+	seeder := xhash.Seeder{Salt: 9}
+	seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+	for _, depth := range []int{1, 4, 16, 64} {
+		b.Run(benchName("queue", depth), func(b *testing.B) {
+			cfg := engine.Config{Parallel: true, Shards: 4, Async: true, QueueDepth: depth}
+			b.SetBytes(int64(len(pairs)) * 16)
+			var stalls uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := engine.NewBottomK(4096, sampling.PPS{}, seed, cfg)
+				e.PushBatch(pairs)
+				sinkF += e.Close().Tau
+				// After Close, so the drain flush's stalls are counted too.
+				stalls += e.Stats().Stalls
+			}
+			b.ReportMetric(float64(stalls)/float64(b.N), "stalls/op")
+		})
+	}
+}
+
+// BenchmarkEngineMultiBottomK measures one-pass multi-instance bottom-k
+// summarization: r coordinated instances populated by a single scan of a
+// combined stream (the alternative is r separate scans).
+func BenchmarkEngineMultiBottomK(b *testing.B) {
+	const r = 4
+	base := benchStream(1 << 18)
+	pairs := make([]engine.MultiPair, 0, r*len(base))
+	for _, p := range base {
+		for i := 0; i < r; i++ {
+			pairs = append(pairs, engine.MultiPair{Key: p.Key, Instance: i, Value: p.Value})
+		}
+	}
+	seeder := xhash.Seeder{Salt: 9, Shared: true}
+	seeds := func(i int) sampling.SeedFunc {
+		return func(h dataset.Key) float64 { return seeder.Seed(i, uint64(h)) }
+	}
+	for _, shards := range []int{1, 4} {
+		b.Run(benchName("shards", shards), func(b *testing.B) {
+			cfg := engine.Config{Parallel: shards > 1, Shards: shards, Async: true}
+			b.SetBytes(int64(len(pairs)) * 24)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := engine.NewMultiBottomK(r, 1024, sampling.PPS{}, seeds, cfg)
+				e.PushBatch(pairs)
+				for _, s := range e.Close() {
+					sinkF += s.Tau
+				}
+			}
+		})
+	}
+}
+
 // --- Micro-benchmarks: aggregates ---
 
 // BenchmarkMaxDominanceEstimate measures the end-to-end §8.2 pipeline on a

@@ -9,16 +9,19 @@
 //	estimate -query distinct     a.json b.json
 //	estimate -demo                      # generate, serialize, and query a demo pair
 //	estimate -demo -shards 4 -batch 512 # demo summarization through the sharded engine
+//	estimate -demo -shards 4 -async -queue 16 # async engine: bounded queues
 //
 // -shards selects the summarization strategy for the maxdominance -demo's
 // PPS summaries: 1 (default) runs the sequential pipeline, n>1 uses n
-// hash-partitioned shards. -batch sizes the per-shard arrival batches.
-// Both must be positive: a zero or negative count is rejected with a
-// non-zero exit instead of silently degrading to another strategy. The
-// summary is identical for every setting; only throughput changes. The
-// distinct demo's set summaries do not route through the engine (set
-// sampling is stateless), so non-default flags are rejected there rather
-// than silently ignored.
+// hash-partitioned shards, 0 one shard per CPU. -batch sizes the
+// per-shard arrival batches; -async runs the engine's async mode with
+// bounded per-shard queues of -queue batches. Negative values are
+// rejected with exit 2 through engine.Config.Validate — the one rule
+// every front door shares; 0 always means "use the default". The summary
+// is identical for every setting; only throughput changes. The distinct
+// demo's set summaries do not route through the engine (set sampling is
+// stateless), so non-default flags are rejected there rather than
+// silently ignored.
 package main
 
 import (
@@ -37,24 +40,30 @@ import (
 func main() {
 	query := flag.String("query", "maxdominance", "query to run: maxdominance or distinct")
 	demo := flag.Bool("demo", false, "write a demo summary pair to the working directory and query it")
-	shards := flag.Int("shards", 1, "summarization shards for -demo: 1 sequential, n>1 hash-partitioned")
+	shards := flag.Int("shards", 1, "summarization shards for -demo: 1 sequential, n>1 hash-partitioned, 0 per-CPU")
 	batch := flag.Int("batch", engine.DefaultBatchSize, "per-shard batch size for -demo")
+	async := flag.Bool("async", false, "run the -demo engine in async mode (bounded per-shard queues)")
+	queue := flag.Int("queue", 0, "per-shard queue depth in batches for -demo (0 = default 8)")
 	flag.Parse()
 
-	if *shards <= 0 {
-		fmt.Fprintf(os.Stderr, "estimate: -shards must be positive, got %d (e.g. -shards 4)\n", *shards)
+	cfg := engine.Config{
+		Parallel:   *shards != 1,
+		Shards:     *shards,
+		BatchSize:  *batch,
+		Async:      *async,
+		QueueDepth: *queue,
+	}
+	// One validation rule for every front door: the engine owns it.
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "estimate: %v\n", err)
 		os.Exit(2)
 	}
-	if *batch <= 0 {
-		fmt.Fprintf(os.Stderr, "estimate: -batch must be positive, got %d (e.g. -batch 1024)\n", *batch)
-		os.Exit(2)
-	}
-	if (*shards != 1 || *batch != engine.DefaultBatchSize) && (!*demo || *query != "maxdominance") {
-		fmt.Fprintln(os.Stderr, "estimate: -shards/-batch only apply to the maxdominance demo's PPS summarization")
+	engineFlagsSet := *shards != 1 || *batch != engine.DefaultBatchSize || *async || *queue != 0
+	if engineFlagsSet && (!*demo || *query != "maxdominance") {
+		fmt.Fprintln(os.Stderr, "estimate: -shards/-batch/-async/-queue only apply to the maxdominance demo's PPS summarization")
 		os.Exit(2)
 	}
 	if *demo {
-		cfg := engine.Config{Parallel: *shards != 1, Shards: *shards, BatchSize: *batch}
 		if err := runDemo(*query, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -1,18 +1,26 @@
 // Command summaryd runs the summary server: an HTTP service that accepts
 // posted summaries (the core JSON wire format) or raw CSV/ndjson pair
-// streams (summarized on arrival through the sharded engine pipeline) and
-// answers distinct / max-dominance / quantile / sum queries over any
-// stored subset — the paper's dispersed-data workflow as a service.
+// streams (summarized on arrival through the sharded engine pipeline,
+// one instance per request via /v1/ingest or every instance of a dataset
+// in one scan via /v1/ingest/multi) and answers distinct / max-dominance /
+// quantile / sum queries over any stored subset — the paper's
+// dispersed-data workflow as a service.
 //
 // Usage:
 //
 //	summaryd                        # listen on :8080, sequential ingest
 //	summaryd -addr :9090            # custom listen address
 //	summaryd -shards 4 -batch 512   # sharded parallel ingest summarization
+//	summaryd -shards 4 -async -queue 16   # async ingest: bounded queues
 //
-// -shards selects the ingest summarization strategy: 1 (default) runs the
-// sequential pipeline, n>1 fans out across n hash-partitioned workers.
-// -batch sizes the per-shard arrival batches. Both must be positive; the
+// -shards selects the ingest summarization strategy: 1 (the default) runs
+// the sequential pipeline, n>1 fans out across n hash-partitioned
+// workers, 0 uses one worker per CPU. -batch sizes the per-shard arrival
+// batches. -async decouples the request reader from the samplers: pairs
+// are handed to worker goroutines through bounded per-shard queues of
+// -queue batches, and a push stalls only while its destination queue is
+// full (at most one batch drain). Negative values are rejected with exit
+// 2 (engine.Config.Validate; 0 always means "use the default"). The
 // stored summary is identical for every setting — only ingest throughput
 // changes.
 package main
@@ -35,20 +43,25 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	shards := flag.Int("shards", 1, "ingest summarization shards: 1 sequential, n>1 hash-partitioned workers")
+	shards := flag.Int("shards", 1, "ingest summarization shards: 1 sequential, n>1 hash-partitioned workers, 0 per-CPU")
 	batch := flag.Int("batch", engine.DefaultBatchSize, "per-shard batch size for sharded ingest")
+	async := flag.Bool("async", false, "decouple ingest from sampling: bounded per-shard queues, stalls counted")
+	queue := flag.Int("queue", 0, "per-shard queue depth in batches (0 = default 8)")
 	flag.Parse()
 
-	if *shards <= 0 {
-		fmt.Fprintf(os.Stderr, "summaryd: -shards must be positive, got %d (e.g. -shards 4)\n", *shards)
-		os.Exit(2)
+	cfg := engine.Config{
+		Parallel:   *shards != 1,
+		Shards:     *shards,
+		BatchSize:  *batch,
+		Async:      *async,
+		QueueDepth: *queue,
 	}
-	if *batch <= 0 {
-		fmt.Fprintf(os.Stderr, "summaryd: -batch must be positive, got %d (e.g. -batch 1024)\n", *batch)
+	// One validation rule for every front door: the engine owns it.
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "summaryd: %v\n", err)
 		os.Exit(2)
 	}
 
-	cfg := engine.Config{Parallel: *shards > 1, Shards: *shards, BatchSize: *batch}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: server.New(server.NewRegistry(), cfg),
@@ -58,7 +71,8 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("summaryd: listening on %s (shards=%d, batch=%d)", *addr, *shards, *batch)
+	log.Printf("summaryd: listening on %s (shards=%d, batch=%d, async=%v, queue=%d)",
+		*addr, cfg.NumShards(), cfg.EffectiveBatchSize(), cfg.Async, cfg.EffectiveQueueDepth())
 
 	select {
 	case err := <-errc:

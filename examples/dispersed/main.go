@@ -16,6 +16,14 @@
 // estimators in-process on the same summaries: the server adds transport
 // and storage, never approximation.
 //
+// The final act exercises the engine's ONE-PASS multi-instance pipeline:
+// the three sites' streams are combined into a single (key, instance,
+// value) stream and summarized with one scan — in-process through
+// core.SummarizeMultiPPSWith (async sharded engine) and over HTTP through
+// POST /v1/ingest/multi — and the program asserts every resulting summary
+// is bit-identical to the per-instance passes, for independent and for
+// coordinated (shared-seed) randomization.
+//
 // Run with: go run ./examples/dispersed
 package main
 
@@ -27,6 +35,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -59,8 +68,10 @@ func main() {
 
 	ctx := context.Background()
 	c := client.New("http://"+ln.Addr().String(), nil)
-	check(c.Health(ctx))
-	fmt.Printf("summary server listening on %s\n\n", ln.Addr())
+	hr, err := c.Health(ctx)
+	check(err)
+	fmt.Printf("summary server listening on %s (healthz: %s, %d datasets)\n\n",
+		ln.Addr(), hr.Status, hr.Datasets)
 
 	// --- summarize at the edge -----------------------------------------
 	summ := core.NewSummarizer(salt)
@@ -159,6 +170,98 @@ func main() {
 	fmt.Printf("\nevery server answer is bit-identical to the in-process estimate ✓\n")
 	fmt.Printf("(the summaries travelled as ~%d keys per site instead of %d raw pairs)\n",
 		expectedK, sharedKeys+uniqueKeys)
+
+	// --- one pass, all instances ----------------------------------------
+	// The same three sites again, but now their streams are combined into
+	// one (key, instance, value) stream and every instance is summarized
+	// with a single scan: per-instance samplers behind each shard worker
+	// of the async engine pipeline.
+	fmt.Printf("\none-pass multi-instance summarization:\n\n")
+	ids := []int{0, 1, 2}
+	acfg := engine.Config{Parallel: true, Shards: 4, Async: true, QueueDepth: 4, BatchSize: 256}
+
+	multiLocal := summ.SummarizeMultiPPSWith(acfg, ids, sites, taus)
+	for i := range sites {
+		mustEqualSample(fmt.Sprintf("one-pass pps instance %d", i),
+			multiLocal[i].Sample, ppsLocal[i].Sample, multiLocal[i].Tau, ppsLocal[i].Tau)
+	}
+	fmt.Printf("in-process: 1 scan over %d combined pairs == 3 per-instance scans (bit-identical) ✓\n",
+		3*(sharedKeys+uniqueKeys))
+
+	// Coordinated (shared-seed) randomization rides the same pipeline:
+	// similar instances then receive similar samples (§7.2).
+	co := core.NewCoordinatedSummarizer(salt)
+	coMulti := co.SummarizeMultiBottomKWith(acfg, ids, sites, expectedK, sampling.PPS{})
+	for i, in := range sites {
+		want := co.SummarizeBottomK(i, in, expectedK, sampling.PPS{})
+		mustEqualSample(fmt.Sprintf("coordinated one-pass bottom-k instance %d", i),
+			coMulti[i].Sample, want.Sample, coMulti[i].Sample.Tau, want.Sample.Tau)
+	}
+	fmt.Printf("coordinated (shared-seed) one-pass bottom-k == per-instance passes ✓\n")
+
+	// Over HTTP: one POST /v1/ingest/multi populates every instance of a
+	// fresh dataset, and the stored summaries answer queries with exactly
+	// the bits of the per-instance path.
+	mpost, err := c.IngestMulti(ctx, client.MultiIngestOptions{
+		Dataset: "flows1p", Instances: ids, Kind: "pps", Format: "ndjson",
+		Salt: salt, SaltSet: true, Taus: taus,
+	}, bytes.NewReader(multiNdjsonBody(sites)))
+	check(err)
+	fmt.Printf("POST /v1/ingest/multi: %d pairs -> %d instances, sizes %v\n",
+		mpost.Pairs, len(mpost.Instances), mpost.Sizes)
+
+	srvM1, err := c.MaxDominance(ctx, "flows1p", 0, 1)
+	check(err)
+	mustEqual("one-pass maxdominance", srvM1.HT, locM.HT)
+	mustEqual("one-pass maxdominance", srvM1.L, locM.L)
+	srvS1, err := c.Sum(ctx, "flows1p", 2)
+	check(err)
+	mustEqual("one-pass sum", srvS1.Sum, locS)
+	fmt.Printf("queries over the one-pass dataset match the per-instance path bit for bit ✓\n")
+}
+
+// multiNdjsonBody renders all sites as one combined (key, instance,
+// value) ndjson stream, interleaved by key.
+func multiNdjsonBody(sites []dataset.Instance) []byte {
+	var buf bytes.Buffer
+	seen := make(map[dataset.Key]bool)
+	for _, in := range sites {
+		for h := range in {
+			seen[h] = true
+		}
+	}
+	keys := make([]dataset.Key, 0, len(seen))
+	for h := range seen {
+		keys = append(keys, h)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, h := range keys {
+		for i, in := range sites {
+			if v, ok := in[h]; ok {
+				fmt.Fprintf(&buf, "{\"key\":%d,\"instance\":%d,\"value\":%g}\n", uint64(h), i, v)
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// mustEqualSample asserts bit-equality of two weighted samples.
+func mustEqualSample(what string, got, want *sampling.WeightedSample, gotTau, wantTau float64) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, what+": "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if gotTau != wantTau && !(math.IsInf(gotTau, 1) && math.IsInf(wantTau, 1)) {
+		fail("tau %v != %v", gotTau, wantTau)
+	}
+	if len(got.Values) != len(want.Values) {
+		fail("size %d != %d", len(got.Values), len(want.Values))
+	}
+	for h, v := range want.Values {
+		if got.Values[h] != v {
+			fail("key %d: %v != %v", h, got.Values[h], v)
+		}
+	}
 }
 
 // makeSites builds three overlapping heavy-tailed instances: sharedKeys

@@ -76,6 +76,18 @@ func (s *Summarizer) StreamBottomK(cfg engine.Config, instance int, k int, fam s
 // Push offers one (key, value) arrival.
 func (b *BottomKStream) Push(h dataset.Key, v float64) { b.e.Push(h, v) }
 
+// Snapshot returns the summary of exactly the arrivals pushed so far —
+// equal to a sequential pass over that prefix — without closing the
+// stream. With an async engine config this is the live-monitoring hook:
+// continuous queries read snapshots while ingest keeps running.
+func (b *BottomKStream) Snapshot() *BottomKSummary {
+	return &BottomKSummary{Instance: b.instance, Sample: b.e.Snapshot(), parent: b.parent}
+}
+
+// Stats exposes the engine's throughput and backpressure counters. Like
+// Push it must be called from the producer goroutine (or after Close).
+func (b *BottomKStream) Stats() engine.Stats { return b.e.Stats() }
+
 // Close drains the pipeline and returns the finished summary.
 func (b *BottomKStream) Close() *BottomKSummary {
 	return &BottomKSummary{Instance: b.instance, Sample: b.e.Close(), parent: b.parent}
@@ -103,7 +115,152 @@ func (s *Summarizer) StreamPPS(cfg engine.Config, instance int, tau float64) *PP
 // Push offers one (key, value) arrival.
 func (p *PPSStream) Push(h dataset.Key, v float64) { p.e.Push(h, v) }
 
+// Snapshot returns the summary of exactly the arrivals pushed so far
+// without closing the stream.
+func (p *PPSStream) Snapshot() *PPSSummary {
+	return &PPSSummary{Instance: p.instance, Tau: p.tau, Sample: p.e.Snapshot(), parent: p.parent}
+}
+
+// Stats exposes the engine's throughput and backpressure counters.
+func (p *PPSStream) Stats() engine.Stats { return p.e.Stats() }
+
 // Close drains the pipeline and returns the finished summary.
 func (p *PPSStream) Close() *PPSSummary {
 	return &PPSSummary{Instance: p.instance, Tau: p.tau, Sample: p.e.Close(), parent: p.parent}
+}
+
+// --- One-pass multi-instance summarization -----------------------------
+//
+// The Multi streams summarize r instances in ONE pass over a combined
+// stream: Push(i, h, v) names the instance by its position in the
+// instances slice, and the engine hosts one sampler per instance behind
+// every shard worker. Per-instance results are bit-identical to r
+// independent single-instance passes. The Summarizer's coordination mode
+// carries through unchanged: a NewCoordinatedSummarizer hands every
+// instance the same seeds (coordinated samples, §7.2), a NewSummarizer
+// per-instance seeds (the independent joint distribution of §4–§6).
+
+// multiSeeds adapts the seeder to a slice of instance IDs, indexed by
+// position.
+func (s *Summarizer) multiSeeds(instances []int) func(int) sampling.SeedFunc {
+	return func(i int) sampling.SeedFunc { return s.seedFunc(instances[i]) }
+}
+
+// MultiBottomKStream summarizes r instances incrementally in one pass.
+type MultiBottomKStream struct {
+	instances []int
+	parent    *Summarizer
+	e         *engine.MultiBottomK
+}
+
+// StreamMultiBottomK opens a one-pass bottom-k summarization stream over
+// the given instance IDs (positions in the slice name the Push index).
+func (s *Summarizer) StreamMultiBottomK(cfg engine.Config, instances []int, k int, fam sampling.RankFamily) *MultiBottomKStream {
+	ids := append([]int(nil), instances...)
+	return &MultiBottomKStream{
+		instances: ids,
+		parent:    s,
+		e:         engine.NewMultiBottomK(len(ids), k, fam, s.multiSeeds(ids), cfg),
+	}
+}
+
+// Push offers one (key, value) arrival of instances[i].
+func (m *MultiBottomKStream) Push(i int, h dataset.Key, v float64) { m.e.Push(i, h, v) }
+
+// Snapshot returns per-instance summaries of exactly the arrivals pushed
+// so far, without closing the stream.
+func (m *MultiBottomKStream) Snapshot() []*BottomKSummary { return m.wrap(m.e.Snapshot()) }
+
+// Stats exposes the engine's throughput and backpressure counters.
+func (m *MultiBottomKStream) Stats() engine.Stats { return m.e.Stats() }
+
+// Close drains the pipeline and returns the finished per-instance
+// summaries, ordered as the instances slice.
+func (m *MultiBottomKStream) Close() []*BottomKSummary { return m.wrap(m.e.Close()) }
+
+func (m *MultiBottomKStream) wrap(samples []*sampling.WeightedSample) []*BottomKSummary {
+	out := make([]*BottomKSummary, len(samples))
+	for i, sm := range samples {
+		out[i] = &BottomKSummary{Instance: m.instances[i], Sample: sm, parent: m.parent}
+	}
+	return out
+}
+
+// MultiPPSStream summarizes r instances incrementally in one pass with
+// Poisson PPS sampling at per-instance thresholds.
+type MultiPPSStream struct {
+	instances []int
+	taus      []float64
+	parent    *Summarizer
+	e         *engine.MultiPoissonPPS
+}
+
+// StreamMultiPPS opens a one-pass Poisson PPS summarization stream over
+// the given instance IDs; taus[i] is the threshold of instances[i].
+func (s *Summarizer) StreamMultiPPS(cfg engine.Config, instances []int, taus []float64) *MultiPPSStream {
+	if len(instances) != len(taus) {
+		panic("core: StreamMultiPPS needs one threshold per instance")
+	}
+	ids := append([]int(nil), instances...)
+	ts := append([]float64(nil), taus...)
+	return &MultiPPSStream{
+		instances: ids,
+		taus:      ts,
+		parent:    s,
+		e:         engine.NewMultiPoissonPPS(ts, s.multiSeeds(ids), cfg),
+	}
+}
+
+// Push offers one (key, value) arrival of instances[i].
+func (m *MultiPPSStream) Push(i int, h dataset.Key, v float64) { m.e.Push(i, h, v) }
+
+// Snapshot returns per-instance summaries of exactly the arrivals pushed
+// so far, without closing the stream.
+func (m *MultiPPSStream) Snapshot() []*PPSSummary { return m.wrap(m.e.Snapshot()) }
+
+// Stats exposes the engine's throughput and backpressure counters.
+func (m *MultiPPSStream) Stats() engine.Stats { return m.e.Stats() }
+
+// Close drains the pipeline and returns the finished per-instance
+// summaries, ordered as the instances slice.
+func (m *MultiPPSStream) Close() []*PPSSummary { return m.wrap(m.e.Close()) }
+
+func (m *MultiPPSStream) wrap(samples []*sampling.WeightedSample) []*PPSSummary {
+	out := make([]*PPSSummary, len(samples))
+	for i, sm := range samples {
+		out[i] = &PPSSummary{Instance: m.instances[i], Tau: m.taus[i], Sample: sm, parent: m.parent}
+	}
+	return out
+}
+
+// SummarizeMultiPPSWith draws PPS summaries of r materialized instances in
+// one pass: ins[i] is summarized as instance instances[i] with threshold
+// taus[i]. Bit-identical to calling SummarizePPSWith per instance.
+func (s *Summarizer) SummarizeMultiPPSWith(cfg engine.Config, instances []int, ins []dataset.Instance, taus []float64) []*PPSSummary {
+	if len(instances) != len(ins) {
+		panic("core: SummarizeMultiPPSWith needs one instance ID per instance")
+	}
+	st := s.StreamMultiPPS(cfg, instances, taus)
+	for i, in := range ins {
+		for h, v := range in {
+			st.Push(i, h, v)
+		}
+	}
+	return st.Close()
+}
+
+// SummarizeMultiBottomKWith draws bottom-k summaries of r materialized
+// instances in one pass. Bit-identical to calling SummarizeBottomKWith per
+// instance.
+func (s *Summarizer) SummarizeMultiBottomKWith(cfg engine.Config, instances []int, ins []dataset.Instance, k int, fam sampling.RankFamily) []*BottomKSummary {
+	if len(instances) != len(ins) {
+		panic("core: SummarizeMultiBottomKWith needs one instance ID per instance")
+	}
+	st := s.StreamMultiBottomK(cfg, instances, k, fam)
+	for i, in := range ins {
+		for h, v := range in {
+			st.Push(i, h, v)
+		}
+	}
+	return st.Close()
 }

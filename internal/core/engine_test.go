@@ -88,6 +88,88 @@ func TestStreamSummarizersMatchBatch(t *testing.T) {
 	}
 }
 
+// sameSummarySample asserts bit-equality of two summaries' samples.
+func sameSummarySample(t *testing.T, label string, got, want *sampling.WeightedSample) {
+	t.Helper()
+	if got.Tau != want.Tau && !(math.IsInf(got.Tau, 1) && math.IsInf(want.Tau, 1)) {
+		t.Fatalf("%s: tau %v, want %v", label, got.Tau, want.Tau)
+	}
+	if len(got.Values) != len(want.Values) {
+		t.Fatalf("%s: size %d, want %d", label, len(got.Values), len(want.Values))
+	}
+	for h, v := range want.Values {
+		if got.Values[h] != v {
+			t.Fatalf("%s: key %d = %v, want %v", label, h, got.Values[h], v)
+		}
+	}
+}
+
+// TestSummarizeMultiMatchesPerInstance: the one-pass multi-instance entry
+// points equal the per-instance passes bit for bit, for both independent
+// (NewSummarizer) and coordinated (NewCoordinatedSummarizer) seeds, and a
+// mid-stream Snapshot equals the prefix summaries.
+func TestSummarizeMultiMatchesPerInstance(t *testing.T) {
+	rng := randx.New(31)
+	ins := make([]dataset.Instance, 3)
+	ids := []int{2, 5, 9}
+	for i := range ins {
+		ins[i] = make(dataset.Instance, 300)
+		for j := 0; j < 300; j++ {
+			ins[i][dataset.Key(rng.Intn(700)+1)] = math.Floor(1 + rng.Pareto(1, 1.3))
+		}
+	}
+	taus := []float64{20, 45, 90}
+	cfg := engine.Config{Parallel: true, Shards: 4, BatchSize: 16, Async: true, QueueDepth: 2}
+	for name, s := range map[string]*Summarizer{
+		"independent": NewSummarizer(8080),
+		"coordinated": NewCoordinatedSummarizer(8080),
+	} {
+		multiPPS := s.SummarizeMultiPPSWith(cfg, ids, ins, taus)
+		multiBK := s.SummarizeMultiBottomKWith(cfg, ids, ins, 25, sampling.PPS{})
+		for i, id := range ids {
+			wantPPS := s.SummarizePPS(id, ins[i], taus[i])
+			wantBK := s.SummarizeBottomK(id, ins[i], 25, sampling.PPS{})
+			if multiPPS[i].Instance != id || multiBK[i].Instance != id {
+				t.Fatalf("%s: instance IDs %d/%d, want %d", name, multiPPS[i].Instance, multiBK[i].Instance, id)
+			}
+			if multiPPS[i].Tau != taus[i] {
+				t.Fatalf("%s: tau %v, want %v", name, multiPPS[i].Tau, taus[i])
+			}
+			sameSummarySample(t, name+"/pps", multiPPS[i].Sample, wantPPS.Sample)
+			sameSummarySample(t, name+"/bottomk", multiBK[i].Sample, wantBK.Sample)
+		}
+	}
+
+	// Mid-stream snapshot ≡ prefix, and multi-built summaries answer
+	// queries exactly like per-instance ones.
+	s := NewSummarizer(8080)
+	st := s.StreamMultiPPS(cfg, ids[:2], taus[:2])
+	prefix := []*PPSSummary{s.SummarizePPS(ids[0], ins[0], taus[0]), nil}
+	for h, v := range ins[0] {
+		st.Push(0, h, v)
+	}
+	snap := st.Snapshot()
+	sameSummarySample(t, "multi snapshot prefix", snap[0].Sample, prefix[0].Sample)
+	if snap[1].Len() != 0 {
+		t.Fatalf("instance with no arrivals holds %d keys", snap[1].Len())
+	}
+	for h, v := range ins[1] {
+		st.Push(1, h, v)
+	}
+	final := st.Close()
+	wantDom, err := MaxDominance(s.SummarizePPS(ids[0], ins[0], taus[0]), s.SummarizePPS(ids[1], ins[1], taus[1]), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDom, err := MaxDominance(final[0], final[1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDom != wantDom {
+		t.Fatalf("maxdominance over multi-built summaries = %+v, want %+v", gotDom, wantDom)
+	}
+}
+
 // TestSummarizePPSDegenerateTau: non-positive thresholds keep their
 // historical batch semantics instead of panicking in the stream sampler —
 // tau = 0 samples every positive key exactly, tau < 0 samples none.

@@ -6,85 +6,135 @@ import (
 	"repro/internal/dataset"
 )
 
-// pusher is the streaming-sampler interface a shard worker drives.
-type pusher interface {
-	Push(h dataset.Key, v float64)
-}
-
 // pipeline is the lifecycle shared by the engine's summarizers: the
-// closed-state guard and the sequential-vs-sharded dispatch, generic over
-// the sampler type. Summarizers embed it and implement only sampler
-// construction and the type-specific merge.
-type pipeline[S pusher] struct {
+// closed-state guard and the in-line-vs-sharded dispatch, generic over the
+// stream item type T (Pair on the single-instance paths, MultiPair on the
+// multi-instance paths) and the per-shard sampler state S. Summarizers
+// embed it and implement only sampler construction and the type-specific
+// merge; the item-level glue is two small functions — key (the hash-router
+// input) and apply (how one item drives one sampler).
+type pipeline[T, S any] struct {
 	closed bool
-	seq    S // sequential path sampler (zero value when sharded)
-	sh     *sharder[S]
+	inline bool // true: seq is driven in-line, no goroutines
+	seq    S
+	apply  func(S, T)
+	sh     *sharder[T, S]
+	pairs  uint64
 }
 
 // newPipeline builds the execution strategy selected by cfg, constructing
-// samplers with mk.
-func newPipeline[S pusher](cfg Config, mk func() S) pipeline[S] {
-	if shards := cfg.NumShards(); shards > 1 {
-		return pipeline[S]{sh: newSharder(shards, cfg, mk)}
+// per-shard sampler state with mk. It panics on an invalid Config;
+// callers handling user input validate first (Config.Validate).
+func newPipeline[T, S any](cfg Config, mk func() S, key func(T) dataset.Key, apply func(S, T)) pipeline[T, S] {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
-	return pipeline[S]{seq: mk()}
+	// Async always takes the worker path, even with one shard: the point
+	// is to decouple the producer from the sampling work.
+	if shards := cfg.NumShards(); shards > 1 || cfg.Async {
+		return pipeline[T, S]{apply: apply, sh: newSharder(shards, cfg, mk, key, apply)}
+	}
+	return pipeline[T, S]{inline: true, seq: mk(), apply: apply}
 }
 
-// Push offers one (key, value) arrival to the pipeline.
-func (p *pipeline[S]) Push(h dataset.Key, v float64) {
+// Push offers one arrival to the pipeline.
+func (p *pipeline[T, S]) Push(item T) {
 	if p.closed {
 		panic("engine: Push after Close")
 	}
-	if p.sh == nil {
-		p.seq.Push(h, v)
+	p.pairs++
+	if p.inline {
+		p.apply(p.seq, item)
 		return
 	}
-	p.sh.push(h, v)
+	p.sh.push(item)
 }
 
 // PushBatch offers a slice of arrivals.
-func (p *pipeline[S]) PushBatch(pairs []Pair) {
-	for _, pr := range pairs {
-		p.Push(pr.Key, pr.Value)
+func (p *pipeline[T, S]) PushBatch(items []T) {
+	for _, it := range items {
+		p.Push(it)
 	}
 }
 
+// samplers quiesces the pipeline and returns the per-shard sampler state
+// for reading: on return every pushed item has been applied and the
+// workers sit idle, so the producer goroutine may inspect the samplers.
+// Pushing may resume afterwards. This is the substrate of Snapshot.
+func (p *pipeline[T, S]) samplers() []S {
+	if p.closed {
+		panic("engine: Snapshot after Close")
+	}
+	if p.inline {
+		return []S{p.seq}
+	}
+	return p.sh.quiesce()
+}
+
 // close marks the pipeline closed and returns the samplers to merge: the
-// single sequential sampler, or every shard's sampler after drain.
-func (p *pipeline[S]) close() []S {
+// single in-line sampler, or every shard's state after drain.
+func (p *pipeline[T, S]) close() []S {
 	if p.closed {
 		panic("engine: Close after Close")
 	}
 	p.closed = true
-	if p.sh == nil {
+	if p.inline {
 		return []S{p.seq}
 	}
 	return p.sh.drain()
 }
 
+// Stats returns the pipeline's throughput and backpressure counters. Like
+// Push, it must be called from the producer goroutine (or after Close).
+func (p *pipeline[T, S]) Stats() Stats {
+	st := Stats{Pairs: p.pairs, Shards: 1}
+	if p.sh != nil {
+		st.Shards = len(p.sh.chans)
+		st.QueueDepth = p.sh.depth
+		st.Batches = p.sh.batches
+		st.Stalls = p.sh.stalls
+	}
+	return st
+}
+
+// batch is one unit of producer→worker handoff: a slice of items, or a
+// barrier the worker acknowledges once every earlier item of its shard
+// has been applied.
+type batch[T any] struct {
+	items   []T
+	barrier chan<- struct{}
+}
+
 // sharder is the sharded batching pipeline shared by the engines: it owns
-// the per-shard buffers, worker channels, and goroutines, generically over
-// the sampler type. The engines own sampler construction and the merge.
-type sharder[S pusher] struct {
+// the per-shard buffers, bounded worker queues, and goroutines, generically
+// over the item and sampler-state types. The engines own sampler
+// construction and the merge.
+type sharder[T, S any] struct {
 	batch    int
-	bufs     [][]Pair
-	chans    []chan []Pair
+	depth    int
+	key      func(T) dataset.Key
+	bufs     [][]T
+	chans    []chan batch[T]
 	samplers []S
+	batches  uint64
+	stalls   uint64
 	wg       sync.WaitGroup
 }
 
 // newSharder spawns one worker goroutine per shard, each draining batches
-// into a sampler built by mk.
-func newSharder[S pusher](shards int, cfg Config, mk func() S) *sharder[S] {
-	sh := &sharder[S]{
+// into sampler state built by mk.
+func newSharder[T, S any](shards int, cfg Config, mk func() S, key func(T) dataset.Key, apply func(S, T)) *sharder[T, S] {
+	sh := &sharder[T, S]{
 		batch:    cfg.EffectiveBatchSize(),
-		bufs:     make([][]Pair, shards),
-		chans:    make([]chan []Pair, shards),
+		depth:    cfg.EffectiveQueueDepth(),
+		key:      key,
+		bufs:     make([][]T, shards),
+		chans:    make([]chan batch[T], shards),
 		samplers: make([]S, shards),
 	}
 	for i := 0; i < shards; i++ {
-		sh.bufs[i] = make([]Pair, 0, sh.batch)
-		ch := make(chan []Pair, batchQueueDepth)
+		sh.bufs[i] = make([]T, 0, sh.batch)
+		ch := make(chan batch[T], sh.depth)
 		s := mk()
 		sh.chans[i] = ch
 		sh.samplers[i] = s
@@ -92,8 +142,11 @@ func newSharder[S pusher](shards int, cfg Config, mk func() S) *sharder[S] {
 		go func() {
 			defer sh.wg.Done()
 			for b := range ch {
-				for _, p := range b {
-					s.Push(p.Key, p.Value)
+				for _, it := range b.items {
+					apply(s, it)
+				}
+				if b.barrier != nil {
+					b.barrier <- struct{}{}
 				}
 			}
 		}()
@@ -103,26 +156,81 @@ func newSharder[S pusher](shards int, cfg Config, mk func() S) *sharder[S] {
 
 // push routes one arrival to its shard, handing the shard's batch to its
 // worker when full.
-func (sh *sharder[S]) push(h dataset.Key, v float64) {
-	i := shardOf(h, len(sh.chans))
-	buf := append(sh.bufs[i], Pair{h, v})
+func (sh *sharder[T, S]) push(item T) {
+	i := 0
+	if len(sh.chans) > 1 {
+		i = shardOf(sh.key(item), len(sh.chans))
+	}
+	buf := append(sh.bufs[i], item)
 	if len(buf) >= sh.batch {
-		sh.chans[i] <- buf
-		buf = make([]Pair, 0, sh.batch)
+		sh.send(i, buf)
+		buf = make([]T, 0, sh.batch)
 	}
 	sh.bufs[i] = buf
+}
+
+// send hands one full batch to a shard worker. The queue is bounded, so
+// the handoff can block — at most until the worker frees one slot by
+// consuming a batch — and every blocking handoff is counted as a stall:
+// Stats().Stalls is the engine's explicit backpressure signal.
+func (sh *sharder[T, S]) send(i int, items []T) {
+	sh.batches++
+	select {
+	case sh.chans[i] <- batch[T]{items: items}:
+	default:
+		sh.stalls++
+		sh.chans[i] <- batch[T]{items: items}
+	}
+}
+
+// quiesce flushes the buffered batches and barriers every worker: on
+// return the workers have applied every pushed item and are blocked
+// waiting for more, so the producer may read the samplers. The barrier
+// acknowledgement orders every worker write before the producer's reads,
+// and the producer's next send orders its reads before further worker
+// writes — the memory-safety handshake behind mid-stream Snapshot.
+func (sh *sharder[T, S]) quiesce() []S {
+	done := make(chan struct{}, len(sh.chans))
+	for i, buf := range sh.bufs {
+		if len(buf) > 0 {
+			sh.send(i, buf)
+			sh.bufs[i] = make([]T, 0, sh.batch)
+		}
+		sh.chans[i] <- batch[T]{barrier: done}
+	}
+	for range sh.chans {
+		<-done
+	}
+	return sh.samplers
 }
 
 // drain flushes the buffered batches, stops the workers, and returns the
 // samplers, now exclusively owned by the caller (wg.Wait orders every
 // worker write before the return).
-func (sh *sharder[S]) drain() []S {
+func (sh *sharder[T, S]) drain() []S {
 	for i, buf := range sh.bufs {
 		if len(buf) > 0 {
-			sh.chans[i] <- buf
+			sh.send(i, buf)
 		}
 		close(sh.chans[i])
 	}
 	sh.wg.Wait()
 	return sh.samplers
+}
+
+// instanceGroup hosts one sampler per instance inside a single shard
+// worker: the hash router dispatches a MultiPair to the shard owning its
+// key, and the worker indexes into the instance's sampler — one pass over
+// a combined r-instance stream feeds all r summaries at once.
+type instanceGroup[S any] struct {
+	by []S
+}
+
+// newInstanceGroup builds one sampler per instance with mk.
+func newInstanceGroup[S any](r int, mk func(instance int) S) *instanceGroup[S] {
+	g := &instanceGroup[S]{by: make([]S, r)}
+	for i := range g.by {
+		g.by[i] = mk(i)
+	}
+	return g
 }

@@ -10,24 +10,43 @@ import (
 // filter, so the merge is a plain union of the per-shard samples — trivially
 // identical to a sequential sampling.StreamPoissonPPS pass.
 //
-// Push and Close must be called from a single producer goroutine; the seed
-// function must be safe for concurrent use.
+// Push, Snapshot, Stats, and Close must be called from a single producer
+// goroutine; the seed function must be safe for concurrent use.
 type PoissonPPS struct {
-	pipeline[*sampling.StreamPoissonPPS]
+	pipeline[Pair, *sampling.StreamPoissonPPS]
 }
 
 // NewPoissonPPS returns a Poisson PPS summarization pipeline with
 // weight-scale threshold tauStar (inclusion probability min{1, v/tauStar}).
 func NewPoissonPPS(tauStar float64, seed sampling.SeedFunc, cfg Config) *PoissonPPS {
-	return &PoissonPPS{pipeline: newPipeline(cfg, func() *sampling.StreamPoissonPPS {
-		return sampling.NewStreamPoissonPPS(tauStar, seed)
-	})}
+	return &PoissonPPS{pipeline: newPipeline(cfg,
+		func() *sampling.StreamPoissonPPS { return sampling.NewStreamPoissonPPS(tauStar, seed) },
+		func(p Pair) dataset.Key { return p.Key },
+		func(s *sampling.StreamPoissonPPS, p Pair) { s.Push(p.Key, p.Value) },
+	)}
+}
+
+// Push offers one (key, value) arrival.
+func (e *PoissonPPS) Push(h dataset.Key, v float64) {
+	e.pipeline.Push(Pair{Key: h, Value: v})
+}
+
+// Snapshot quiesces the pipeline and returns the merged PPS sample of
+// exactly the pairs pushed so far — equal to a sequential pass over that
+// prefix. The pipeline remains usable afterwards.
+func (e *PoissonPPS) Snapshot() *sampling.WeightedSample {
+	return unionPoissonSamplers(e.samplers())
 }
 
 // Close flushes buffered batches, waits for the shard workers, and returns
 // the merged PPS sample. The pipeline is unusable afterwards.
 func (e *PoissonPPS) Close() *sampling.WeightedSample {
-	samplers := e.close()
+	return unionPoissonSamplers(e.close())
+}
+
+// unionPoissonSamplers unions per-shard Poisson samples into one without
+// consuming the samplers (shards hold disjoint key partitions).
+func unionPoissonSamplers(samplers []*sampling.StreamPoissonPPS) *sampling.WeightedSample {
 	out := samplers[0].Snapshot()
 	for _, s := range samplers[1:] {
 		s.AppendTo(out.Values)
@@ -41,6 +60,96 @@ func SummarizePoissonPPS(in dataset.Instance, tauStar float64, seed sampling.See
 	e := NewPoissonPPS(tauStar, seed, cfg)
 	for h, v := range in {
 		e.Push(h, v)
+	}
+	return e.Close()
+}
+
+// MultiPoissonPPS summarizes r instances in one pass over a combined
+// MultiPair stream: each shard worker hosts r Poisson PPS samplers behind
+// the single hash router. taus[i] is instance i's weight-scale threshold;
+// seeds(i) its seed function (the same function for every instance ⇒
+// coordinated samples, per-instance functions ⇒ independent samples).
+// Per-instance results are bit-identical to r independent sequential
+// passes.
+type MultiPoissonPPS struct {
+	r int
+	pipeline[MultiPair, *instanceGroup[*sampling.StreamPoissonPPS]]
+}
+
+// NewMultiPoissonPPS returns a one-pass Poisson PPS summarization pipeline
+// over len(taus) instances.
+func NewMultiPoissonPPS(taus []float64, seeds func(instance int) sampling.SeedFunc, cfg Config) *MultiPoissonPPS {
+	if len(taus) == 0 {
+		panic("engine: NewMultiPoissonPPS with no instances")
+	}
+	r := len(taus)
+	return &MultiPoissonPPS{r: r, pipeline: newPipeline(cfg,
+		func() *instanceGroup[*sampling.StreamPoissonPPS] {
+			return newInstanceGroup(r, func(i int) *sampling.StreamPoissonPPS {
+				return sampling.NewStreamPoissonPPS(taus[i], seeds(i))
+			})
+		},
+		func(m MultiPair) dataset.Key { return m.Key },
+		func(g *instanceGroup[*sampling.StreamPoissonPPS], m MultiPair) { g.by[m.Instance].Push(m.Key, m.Value) },
+	)}
+}
+
+// Instances returns r, the number of summarized instances.
+func (e *MultiPoissonPPS) Instances() int { return e.r }
+
+// Push offers one (key, value) arrival of the given instance (0 ≤
+// instance < r).
+func (e *MultiPoissonPPS) Push(instance int, h dataset.Key, v float64) {
+	checkInstance(instance, e.r)
+	e.pipeline.Push(MultiPair{Key: h, Instance: instance, Value: v})
+}
+
+// PushBatch offers a slice of combined-stream arrivals.
+func (e *MultiPoissonPPS) PushBatch(ms []MultiPair) {
+	for _, m := range ms {
+		e.Push(m.Instance, m.Key, m.Value)
+	}
+}
+
+// Snapshot quiesces the pipeline and returns the per-instance samples of
+// exactly the pairs pushed so far, indexed by instance. The pipeline
+// remains usable afterwards.
+func (e *MultiPoissonPPS) Snapshot() []*sampling.WeightedSample {
+	return e.merge(e.samplers())
+}
+
+// Close drains the pipeline and returns the per-instance samples, indexed
+// by instance. The pipeline is unusable afterwards.
+func (e *MultiPoissonPPS) Close() []*sampling.WeightedSample {
+	return e.merge(e.pipeline.close())
+}
+
+func (e *MultiPoissonPPS) merge(groups []*instanceGroup[*sampling.StreamPoissonPPS]) []*sampling.WeightedSample {
+	out := make([]*sampling.WeightedSample, e.r)
+	per := make([]*sampling.StreamPoissonPPS, len(groups))
+	for i := 0; i < e.r; i++ {
+		for gi, g := range groups {
+			per[gi] = g.by[i]
+		}
+		out[i] = unionPoissonSamplers(per)
+	}
+	return out
+}
+
+// SummarizeMultiPoissonPPS runs r materialized instances through a
+// one-pass multi-instance Poisson PPS pipeline: ins[i] is summarized with
+// threshold taus[i] and seeds(i). The result equals
+// []{SummarizePoissonPPS(ins[i], taus[i], seeds(i), cfg)} bit for bit, at
+// the cost of one scan instead of r.
+func SummarizeMultiPoissonPPS(ins []dataset.Instance, taus []float64, seeds func(instance int) sampling.SeedFunc, cfg Config) []*sampling.WeightedSample {
+	if len(ins) != len(taus) {
+		panic("engine: SummarizeMultiPoissonPPS needs one threshold per instance")
+	}
+	e := NewMultiPoissonPPS(taus, seeds, cfg)
+	for i, in := range ins {
+		for h, v := range in {
+			e.Push(i, h, v)
+		}
 	}
 	return e.Close()
 }

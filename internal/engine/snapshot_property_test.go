@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"sort"
+	"strconv"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/randx"
+	"repro/internal/sampling"
+	"repro/internal/xhash"
+)
+
+// TestSnapshotMatchesSequentialPrefix is the mid-stream snapshot property:
+// at random cut points of a random stream, Snapshot() on the sharded (and
+// async) path must equal the sequential summary of exactly the pushed
+// prefix — for shards 1/2/4 and both sampler kinds — and snapshotting must
+// not perturb the final Close result.
+func TestSnapshotMatchesSequentialPrefix(t *testing.T) {
+	seeder := xhash.Seeder{Salt: 20110614}
+	seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+	const n = 3000
+	stream := randomStream(randx.New(8), n)
+	tau := 300.0
+
+	for trial := 0; trial < 3; trial++ {
+		// Random cut points, including the degenerate prefixes 0 and n.
+		cutRng := randx.New(uint64(100*trial) + 13)
+		cuts := []int{0, n}
+		for c := 0; c < 4; c++ {
+			cuts = append(cuts, cutRng.Intn(n+1))
+		}
+		sort.Ints(cuts)
+
+		for _, shards := range []int{1, 2, 4} {
+			for _, async := range []bool{false, true} {
+				cfg := Config{Parallel: shards > 1, Shards: shards, BatchSize: 64, Async: async, QueueDepth: 2}
+				label := "shards=" + strconv.Itoa(shards) + "/async=" + strconv.FormatBool(async) +
+					"/trial=" + strconv.Itoa(trial)
+
+				bk := NewBottomK(48, sampling.PPS{}, seed, cfg)
+				pps := NewPoissonPPS(tau, seed, cfg)
+				refBK := sampling.NewStreamBottomK(48, sampling.PPS{}, seed)
+				refPPS := sampling.NewStreamPoissonPPS(tau, seed)
+
+				next := 0
+				for _, cut := range cuts {
+					for ; next < cut; next++ {
+						p := stream[next]
+						bk.Push(p.Key, p.Value)
+						pps.Push(p.Key, p.Value)
+						refBK.Push(p.Key, p.Value)
+						refPPS.Push(p.Key, p.Value)
+					}
+					at := label + "/cut=" + strconv.Itoa(cut)
+					sameSample(t, bk.Snapshot(), refBK.Snapshot(), "bottomk/"+at)
+					sameSample(t, pps.Snapshot(), refPPS.Snapshot(), "poisson/"+at)
+				}
+				// Feed the tail and confirm snapshots did not perturb the
+				// final drained summary.
+				for ; next < n; next++ {
+					p := stream[next]
+					bk.Push(p.Key, p.Value)
+					pps.Push(p.Key, p.Value)
+					refBK.Push(p.Key, p.Value)
+					refPPS.Push(p.Key, p.Value)
+				}
+				sameSample(t, bk.Close(), refBK.Snapshot(), "bottomk/"+label+"/close")
+				sameSample(t, pps.Close(), refPPS.Snapshot(), "poisson/"+label+"/close")
+			}
+		}
+	}
+}
+
+// TestMultiSnapshotMatchesSequentialPrefix extends the property to the
+// one-pass multi-instance pipeline: a mid-stream snapshot equals, per
+// instance, the sequential summary of that instance's pushed prefix.
+func TestMultiSnapshotMatchesSequentialPrefix(t *testing.T) {
+	const r, k = 3, 20
+	stream := multiStream(randx.New(77), r, 700)
+	for mode, seeds := range seedModes(31) {
+		for _, shards := range []int{1, 2, 4} {
+			cfg := Config{Parallel: shards > 1, Shards: shards, BatchSize: 32, Async: true, QueueDepth: 2}
+			e := NewMultiBottomK(r, k, sampling.PPS{}, seeds, cfg)
+			refs := make([]*sampling.StreamBottomK, r)
+			for i := range refs {
+				refs[i] = sampling.NewStreamBottomK(k, sampling.PPS{}, seeds(i))
+			}
+			cut := len(stream) / 3
+			for _, m := range stream[:cut] {
+				e.Push(m.Instance, m.Key, m.Value)
+				refs[m.Instance].Push(m.Key, m.Value)
+			}
+			snap := e.Snapshot()
+			for i := 0; i < r; i++ {
+				sameSample(t, snap[i], refs[i].Snapshot(),
+					mode+"/shards="+strconv.Itoa(shards)+"/snapshot/instance="+strconv.Itoa(i))
+			}
+			for _, m := range stream[cut:] {
+				e.Push(m.Instance, m.Key, m.Value)
+				refs[m.Instance].Push(m.Key, m.Value)
+			}
+			got := e.Close()
+			for i := 0; i < r; i++ {
+				sameSample(t, got[i], refs[i].Snapshot(),
+					mode+"/shards="+strconv.Itoa(shards)+"/close/instance="+strconv.Itoa(i))
+			}
+		}
+	}
+}

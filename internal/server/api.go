@@ -9,6 +9,12 @@ import "repro/pkg/api"
 // PostResult = api.PostResult.
 type PostResult = api.PostResult
 
+// MultiPostResult = api.MultiPostResult.
+type MultiPostResult = api.MultiPostResult
+
+// HealthResult = api.HealthResult.
+type HealthResult = api.HealthResult
+
 // DatasetInfo = api.DatasetInfo.
 type DatasetInfo = api.DatasetInfo
 

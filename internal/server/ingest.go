@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 
@@ -19,20 +20,24 @@ import (
 // dispersed-data loop: an edge site that cannot (or should not) ship its
 // raw pair stream POSTs it to a local summaryd, which streams it through
 // the sharded engine pipeline and registers only the compact summary.
+// /v1/ingest summarizes one instance per request; /v1/ingest/multi
+// carries an instance column and populates every listed instance of a
+// dataset with ONE scan through the engine's one-pass multi-instance
+// pipeline (per-instance samplers behind each shard worker).
 
 // maxIngestLine bounds one CSV/ndjson line.
 const maxIngestLine = 1 << 20
 
 // maxIngestBody bounds one raw ingest request. The cap also bounds the
-// per-request key-uniqueness map in scanPairs, so a single request cannot
-// grow server memory without limit. Instances too large to ship within
-// the cap are exactly the ones that should be summarized at the edge and
-// POSTed to /v1/summaries instead — that is the primary dispersed
+// per-request key-uniqueness map in the scanners, so a single request
+// cannot grow server memory without limit. Instances too large to ship
+// within the cap are exactly the ones that should be summarized at the
+// edge and POSTed to /v1/summaries instead — that is the primary dispersed
 // workflow; raw ingest is the convenience path for thin producers.
 const maxIngestBody = 256 << 20
 
-// ingestParams carries the parsed, validated parameters of one ingest
-// request.
+// ingestParams carries the parsed, validated parameters of one
+// single-instance ingest request.
 type ingestParams struct {
 	dataset  string
 	instance int
@@ -45,10 +50,67 @@ type ingestParams struct {
 	summ     *core.Summarizer
 }
 
-// parseIngestParams validates the query string against the registry state:
-// an existing dataset pins the salt, coordination mode, and kind (an
-// explicit conflict is rejected up front, before the body is read); a new
-// dataset requires an explicit salt.
+// bindRandomization resolves an ingest's randomization against the
+// registry state: an existing dataset pins the salt, coordination mode,
+// and kind (an explicit conflict is rejected up front, before the body is
+// read); a new dataset requires an explicit salt.
+func (s *Server) bindRandomization(q url.Values, ds, kind string) (*core.Summarizer, error) {
+	shared := false
+	sharedGiven := q.Get("shared") != ""
+	var err error
+	if sharedGiven {
+		if shared, err = strconv.ParseBool(q.Get("shared")); err != nil {
+			return nil, fmt.Errorf("server: invalid shared parameter %q", q.Get("shared"))
+		}
+	}
+	var salt uint64
+	saltGiven := q.Get("salt") != ""
+	if saltGiven {
+		if salt, err = strconv.ParseUint(q.Get("salt"), 10, 64); err != nil {
+			return nil, fmt.Errorf("server: invalid salt parameter: %w", err)
+		}
+	}
+	if info, err := s.reg.Info(ds); err == nil {
+		// The dataset pins randomization and kind; reject an explicit
+		// conflict now (before the body is read) rather than summarizing a
+		// stream under parameters the caller did not ask for.
+		if (saltGiven && salt != info.Salt) || (sharedGiven && shared != info.Shared) {
+			return nil, fmt.Errorf("%w: dataset %q uses salt %d (shared=%v)",
+				ErrIncompatible, ds, info.Salt, info.Shared)
+		}
+		if kind != info.Kind {
+			return nil, fmt.Errorf("%w: dataset %q holds %s summaries, got %s",
+				ErrIncompatible, ds, info.Kind, kind)
+		}
+		salt, shared = info.Salt, info.Shared
+	} else if !saltGiven {
+		return nil, fmt.Errorf("server: new dataset %q needs a salt parameter", ds)
+	}
+	if shared {
+		return core.NewCoordinatedSummarizer(salt), nil
+	}
+	return core.NewSummarizer(salt), nil
+}
+
+// resolveFormat picks the body format from the format parameter, falling
+// back to the Content-Type.
+func resolveFormat(q url.Values, r *http.Request) (string, error) {
+	format := q.Get("format")
+	if format == "" {
+		if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "text/csv") {
+			format = "csv"
+		} else {
+			format = "ndjson"
+		}
+	}
+	if format != "csv" && format != "ndjson" {
+		return "", fmt.Errorf("server: unknown ingest format %q (csv, ndjson)", format)
+	}
+	return format, nil
+}
+
+// parseIngestParams validates the query string of a single-instance
+// ingest against the registry state.
 func (s *Server) parseIngestParams(r *http.Request) (ingestParams, error) {
 	q := r.URL.Query()
 	out := ingestParams{dataset: q.Get("dataset"), kind: q.Get("kind")}
@@ -61,20 +123,6 @@ func (s *Server) parseIngestParams(r *http.Request) (ingestParams, error) {
 	}
 	out.instance = instance
 
-	shared := false
-	sharedGiven := q.Get("shared") != ""
-	if sharedGiven {
-		if shared, err = strconv.ParseBool(q.Get("shared")); err != nil {
-			return out, fmt.Errorf("server: invalid shared parameter %q", q.Get("shared"))
-		}
-	}
-	var salt uint64
-	saltGiven := q.Get("salt") != ""
-	if saltGiven {
-		if salt, err = strconv.ParseUint(q.Get("salt"), 10, 64); err != nil {
-			return out, fmt.Errorf("server: invalid salt parameter: %w", err)
-		}
-	}
 	switch out.kind {
 	case "pps":
 		out.tau, err = strconv.ParseFloat(q.Get("tau"), 64)
@@ -82,17 +130,8 @@ func (s *Server) parseIngestParams(r *http.Request) (ingestParams, error) {
 			return out, fmt.Errorf("server: pps ingest needs a positive finite tau parameter")
 		}
 	case "bottomk":
-		out.k, err = strconv.Atoi(q.Get("k"))
-		if err != nil || out.k <= 0 {
-			return out, fmt.Errorf("server: bottomk ingest needs a positive k parameter")
-		}
-		switch fam := q.Get("family"); fam {
-		case "", sampling.PPS{}.Name():
-			out.fam = sampling.PPS{}
-		case sampling.EXP{}.Name():
-			out.fam = sampling.EXP{}
-		default:
-			return out, fmt.Errorf("server: unknown rank family %q", fam)
+		if out.k, out.fam, err = parseBottomKParams(q); err != nil {
+			return out, err
 		}
 	case "set":
 		out.p, err = strconv.ParseFloat(q.Get("p"), 64)
@@ -105,40 +144,28 @@ func (s *Server) parseIngestParams(r *http.Request) (ingestParams, error) {
 		return out, fmt.Errorf("server: unknown ingest kind %q (pps, bottomk, set)", out.kind)
 	}
 
-	if info, err := s.reg.Info(out.dataset); err == nil {
-		// The dataset pins randomization and kind; reject an explicit
-		// conflict now (before the body is read) rather than summarizing a
-		// stream under parameters the caller did not ask for.
-		if (saltGiven && salt != info.Salt) || (sharedGiven && shared != info.Shared) {
-			return out, fmt.Errorf("%w: dataset %q uses salt %d (shared=%v)",
-				ErrIncompatible, out.dataset, info.Salt, info.Shared)
-		}
-		if out.kind != info.Kind {
-			return out, fmt.Errorf("%w: dataset %q holds %s summaries, got %s",
-				ErrIncompatible, out.dataset, info.Kind, out.kind)
-		}
-		salt, shared = info.Salt, info.Shared
-	} else if !saltGiven {
-		return out, fmt.Errorf("server: new dataset %q needs a salt parameter", out.dataset)
+	if out.summ, err = s.bindRandomization(q, out.dataset, out.kind); err != nil {
+		return out, err
 	}
-	if shared {
-		out.summ = core.NewCoordinatedSummarizer(salt)
-	} else {
-		out.summ = core.NewSummarizer(salt)
-	}
+	out.format, err = resolveFormat(q, r)
+	return out, err
+}
 
-	out.format = q.Get("format")
-	if out.format == "" {
-		if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "text/csv") {
-			out.format = "csv"
-		} else {
-			out.format = "ndjson"
-		}
+// parseBottomKParams parses the k and family parameters shared by the
+// single- and multi-instance bottom-k ingests.
+func parseBottomKParams(q url.Values) (int, sampling.RankFamily, error) {
+	k, err := strconv.Atoi(q.Get("k"))
+	if err != nil || k <= 0 {
+		return 0, nil, fmt.Errorf("server: bottomk ingest needs a positive k parameter")
 	}
-	if out.format != "csv" && out.format != "ndjson" {
-		return out, fmt.Errorf("server: unknown ingest format %q (csv, ndjson)", out.format)
+	switch fam := q.Get("family"); fam {
+	case "", sampling.PPS{}.Name():
+		return k, sampling.PPS{}, nil
+	case sampling.EXP{}.Name():
+		return k, sampling.EXP{}, nil
+	default:
+		return 0, nil, fmt.Errorf("server: unknown rank family %q", fam)
 	}
-	return out, nil
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -185,12 +212,149 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// multiIngestParams carries the parsed, validated parameters of one
+// multi-instance ingest request.
+type multiIngestParams struct {
+	dataset   string
+	instances []int       // instance IDs, in request order
+	index     map[int]int // instance ID → position in instances
+	kind      string
+	format    string
+	taus      []float64           // pps, one per instance
+	k         int                 // bottomk
+	fam       sampling.RankFamily // bottomk
+	summ      *core.Summarizer
+}
+
+// parseMultiIngestParams validates the query string of a one-pass
+// multi-instance ingest. instances lists the populated instance IDs; for
+// pps, tau is either one threshold shared by every instance or a
+// comma-separated list matching instances.
+func (s *Server) parseMultiIngestParams(r *http.Request) (multiIngestParams, error) {
+	q := r.URL.Query()
+	out := multiIngestParams{dataset: q.Get("dataset"), kind: q.Get("kind")}
+	if out.dataset == "" {
+		return out, fmt.Errorf("server: missing dataset parameter")
+	}
+	ids, err := parseInstances(q.Get("instances"))
+	if err != nil {
+		return out, err
+	}
+	if len(ids) == 0 {
+		return out, fmt.Errorf("server: multi ingest needs an instances parameter (e.g. instances=0,1,2)")
+	}
+	out.instances = ids
+	out.index = make(map[int]int, len(ids))
+	for i, id := range ids {
+		if _, dup := out.index[id]; dup {
+			return out, fmt.Errorf("server: duplicate instance %d in instances parameter", id)
+		}
+		out.index[id] = i
+	}
+
+	switch out.kind {
+	case "pps":
+		parts := strings.Split(q.Get("tau"), ",")
+		if len(parts) != 1 && len(parts) != len(ids) {
+			return out, fmt.Errorf("server: pps multi ingest needs 1 or %d tau values, got %d", len(ids), len(parts))
+		}
+		out.taus = make([]float64, len(ids))
+		for i := range out.taus {
+			part := parts[0]
+			if len(parts) > 1 {
+				part = parts[i]
+			}
+			tau, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || !(tau > 0) || math.IsInf(tau, 1) {
+				return out, fmt.Errorf("server: pps multi ingest needs positive finite tau values")
+			}
+			out.taus[i] = tau
+		}
+	case "bottomk":
+		if out.k, out.fam, err = parseBottomKParams(q); err != nil {
+			return out, err
+		}
+	case "":
+		return out, fmt.Errorf("server: missing kind parameter (pps, bottomk)")
+	case "set":
+		return out, fmt.Errorf("server: multi ingest supports pps and bottomk (set sampling is stateless; ingest set instances separately)")
+	default:
+		return out, fmt.Errorf("server: unknown multi ingest kind %q (pps, bottomk)", out.kind)
+	}
+
+	if out.summ, err = s.bindRandomization(q, out.dataset, out.kind); err != nil {
+		return out, err
+	}
+	out.format, err = resolveFormat(q, r)
+	return out, err
+}
+
+func (s *Server) handleIngestMulti(w http.ResponseWriter, r *http.Request) {
+	p, err := s.parseMultiIngestParams(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var push func(i int, h dataset.Key, v float64)
+	var finish func() []core.Summary
+	switch p.kind {
+	case "pps":
+		st := p.summ.StreamMultiPPS(s.cfg, p.instances, p.taus)
+		push = st.Push
+		finish = func() []core.Summary { return asSummaries(st.Close()) }
+	case "bottomk":
+		st := p.summ.StreamMultiBottomK(s.cfg, p.instances, p.k, p.fam)
+		push = st.Push
+		finish = func() []core.Summary { return asSummaries(st.Close()) }
+	}
+	pairs, err := scanMultiPairs(http.MaxBytesReader(w, r.Body, maxIngestBody), p.format, p.index, push)
+	// The samplers hold goroutines under a parallel config; always drain.
+	sums := finish()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	sizes := make([]int, len(sums))
+	for i, sum := range sums {
+		if err := s.reg.Put(p.dataset, sum); err != nil {
+			writeError(w, err)
+			return
+		}
+		sizes[i] = sum.Size()
+	}
+	writeJSON(w, http.StatusCreated, MultiPostResult{
+		Dataset:   p.dataset,
+		Kind:      p.kind,
+		Instances: p.instances,
+		Sizes:     sizes,
+		Pairs:     pairs,
+	})
+}
+
+// asSummaries widens a concrete summary slice to the Summary interface.
+func asSummaries[T core.Summary](in []T) []core.Summary {
+	out := make([]core.Summary, len(in))
+	for i, s := range in {
+		out[i] = s
+	}
+	return out
+}
+
+// checkIngestValue enforces the shared value constraint of the weighted
+// scanners: nonnegative and finite (zero-valued pairs are legal; weighted
+// samplers never retain them).
+func checkIngestValue(v float64, lineNo int) error {
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("server: line %d: value %v outside [0, +Inf)", lineNo, v)
+	}
+	return nil
+}
+
 // scanPairs streams (key, value) pairs out of a CSV or ndjson body into
 // push, returning the number of pairs consumed. CSV lines are
 // "key,value" ("key" alone when keysOnly; a leading "key,value" header is
 // tolerated); ndjson lines are {"key": u64, "value": f64}. Values must be
-// nonnegative and finite; zero-valued pairs are legal (weighted samplers
-// never retain them).
+// nonnegative and finite.
 //
 // The instances×keys model assigns one value per key per instance, and
 // the engine's streaming samplers rely on it (a repeated key corrupts
@@ -257,8 +421,8 @@ func scanPairs(body io.Reader, format string, keysOnly bool, push func(dataset.K
 				return pairs, fmt.Errorf("server: ndjson line %d: weighted ingest needs a value", lineNo)
 			}
 		}
-		if value < 0 || math.IsNaN(value) || math.IsInf(value, 0) {
-			return pairs, fmt.Errorf("server: line %d: value %v outside [0, +Inf)", lineNo, value)
+		if err := checkIngestValue(value, lineNo); err != nil {
+			return pairs, err
 		}
 		if seen != nil {
 			if _, dup := seen[key]; dup {
@@ -267,6 +431,88 @@ func scanPairs(body io.Reader, format string, keysOnly bool, push func(dataset.K
 			seen[key] = struct{}{}
 		}
 		push(dataset.Key(key), value)
+		pairs++
+	}
+	if err := sc.Err(); err != nil {
+		return pairs, fmt.Errorf("server: reading pair stream: %w", err)
+	}
+	return pairs, nil
+}
+
+// scanMultiPairs streams (key, instance, value) triples out of a CSV or
+// ndjson body into push, returning the number of pairs consumed. CSV
+// lines are "key,instance,value" (a leading "key,instance,value" header
+// is tolerated); ndjson lines are {"key": u64, "instance": int, "value":
+// f64}, all fields required. The instance column holds instance IDs and
+// every ID must appear in index (the request's instances parameter); push
+// receives the ID's position. A repeated (key, instance) combination is
+// rejected for the same reason scanPairs rejects repeated keys.
+func scanMultiPairs(body io.Reader, format string, index map[int]int, push func(i int, h dataset.Key, v float64)) (int64, error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64*1024), maxIngestLine)
+	var pairs int64
+	lineNo := 0
+	type pairID struct {
+		key      uint64
+		instance int
+	}
+	seen := make(map[pairID]struct{})
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var key uint64
+		var instance int
+		var value float64
+		switch format {
+		case "csv":
+			if lineNo == 1 && line == "key,instance,value" {
+				continue
+			}
+			fields := strings.SplitN(line, ",", 4)
+			if len(fields) != 3 {
+				return pairs, fmt.Errorf("server: csv line %d: multi ingest needs key,instance,value", lineNo)
+			}
+			k, err := strconv.ParseUint(strings.TrimSpace(fields[0]), 10, 64)
+			if err != nil {
+				return pairs, fmt.Errorf("server: csv line %d: bad key: %w", lineNo, err)
+			}
+			key = k
+			if instance, err = strconv.Atoi(strings.TrimSpace(fields[1])); err != nil {
+				return pairs, fmt.Errorf("server: csv line %d: bad instance: %w", lineNo, err)
+			}
+			if value, err = strconv.ParseFloat(strings.TrimSpace(fields[2]), 64); err != nil {
+				return pairs, fmt.Errorf("server: csv line %d: bad value: %w", lineNo, err)
+			}
+		case "ndjson":
+			var rec struct {
+				Key      *uint64  `json:"key"`
+				Instance *int     `json:"instance"`
+				Value    *float64 `json:"value"`
+			}
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				return pairs, fmt.Errorf("server: ndjson line %d: %w", lineNo, err)
+			}
+			if rec.Key == nil || rec.Instance == nil || rec.Value == nil {
+				return pairs, fmt.Errorf("server: ndjson line %d: multi ingest needs key, instance, and value", lineNo)
+			}
+			key, instance, value = *rec.Key, *rec.Instance, *rec.Value
+		}
+		if err := checkIngestValue(value, lineNo); err != nil {
+			return pairs, err
+		}
+		idx, ok := index[instance]
+		if !ok {
+			return pairs, fmt.Errorf("server: line %d: instance %d not listed in the instances parameter", lineNo, instance)
+		}
+		id := pairID{key: key, instance: instance}
+		if _, dup := seen[id]; dup {
+			return pairs, fmt.Errorf("server: line %d: key %d repeated for instance %d; ingest needs one value per key per instance (aggregate before posting)", lineNo, key, instance)
+		}
+		seen[id] = struct{}{}
+		push(idx, dataset.Key(key), value)
 		pairs++
 	}
 	if err := sc.Err(); err != nil {

@@ -130,6 +130,14 @@ func (r *Registry) Info(dataset string) (DatasetInfo, error) {
 	return e.info(dataset), nil
 }
 
+// Count returns the number of registered datasets — the cheap health-probe
+// read (List materializes per-dataset info; probes only need the count).
+func (r *Registry) Count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.datasets)
+}
+
 // List describes every dataset, sorted by name.
 func (r *Registry) List() []DatasetInfo {
 	r.mu.RLock()

@@ -21,11 +21,12 @@ const maxSummaryBody = 64 << 20
 
 // Server is the HTTP face of a Registry. It is an http.Handler serving:
 //
-//	GET  /healthz              liveness probe
+//	GET  /healthz              liveness probe (status + dataset count)
 //	GET  /v1/datasets          list registered datasets
 //	GET  /v1/summaries         fetch one stored summary in wire form
 //	POST /v1/summaries         store a summary (core JSON wire format)
 //	POST /v1/ingest            summarize a raw CSV/ndjson pair stream
+//	POST /v1/ingest/multi      one-pass multi-instance ingest (instance column)
 //	GET  /v1/query             estimate over a stored subset
 //
 // Every error response is JSON: {"error": "..."}.
@@ -37,16 +38,25 @@ type Server struct {
 
 // New builds a server around a registry. The engine config selects the
 // summarization strategy of the ingest path (zero value = sequential; see
-// engine.Config for the sharded variants).
+// engine.Config for the sharded variants). New panics on an invalid
+// config — surfacing the misconfiguration at construction rather than as
+// a per-request pipeline panic; callers holding user input validate with
+// engine.Config.Validate first (as cmd/summaryd does).
 func New(reg *Registry, cfg engine.Config) *Server {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	s := &Server{reg: reg, cfg: cfg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		// Status plus dataset count: load balancers probe liveness, and
+		// operators get a one-number capacity read for free.
+		writeJSON(w, http.StatusOK, HealthResult{Status: "ok", Datasets: s.reg.Count()})
 	})
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /v1/summaries", s.handleFetchSummary)
 	s.mux.HandleFunc("POST /v1/summaries", s.handlePostSummary)
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/ingest/multi", s.handleIngestMulti)
 	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
 	return s
 }

@@ -94,8 +94,8 @@ func TestServerEndToEnd(t *testing.T) {
 			c, closeSrv := startServer(t, cfg)
 			defer closeSrv()
 			ctx := context.Background()
-			if err := c.Health(ctx); err != nil {
-				t.Fatal(err)
+			if hr, err := c.Health(ctx); err != nil || hr.Status != "ok" || hr.Datasets != 0 {
+				t.Fatalf("Health = %+v, %v; want ok with 0 datasets", hr, err)
 			}
 
 			summ := core.NewSummarizer(testSalt)

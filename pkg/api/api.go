@@ -15,6 +15,28 @@ type PostResult struct {
 	Pairs int64 `json:"pairs,omitempty"`
 }
 
+// MultiPostResult acknowledges a one-pass multi-instance ingest: one scan
+// of a combined (key, instance, value) stream populated every listed
+// instance of the dataset.
+type MultiPostResult struct {
+	Dataset string `json:"dataset"`
+	Kind    string `json:"kind"`
+	// Instances are the populated instance IDs, in request order.
+	Instances []int `json:"instances"`
+	// Sizes[i] is the number of retained keys in Instances[i]'s summary.
+	Sizes []int `json:"sizes"`
+	// Pairs is the total number of raw (key, instance, value) pairs
+	// consumed by the single scan.
+	Pairs int64 `json:"pairs"`
+}
+
+// HealthResult answers GET /healthz: liveness plus the number of
+// registered datasets, for load-balancer probes and quick capacity reads.
+type HealthResult struct {
+	Status   string `json:"status"`
+	Datasets int    `json:"datasets"`
+}
+
 // DatasetInfo describes one registered dataset.
 type DatasetInfo struct {
 	Dataset   string `json:"dataset"`

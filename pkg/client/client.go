@@ -92,9 +92,12 @@ func (c *Client) post(ctx context.Context, path string, q url.Values, contentTyp
 	return c.do(req, out)
 }
 
-// Health probes GET /healthz.
-func (c *Client) Health(ctx context.Context) error {
-	return c.get(ctx, "/healthz", nil, nil)
+// Health probes GET /healthz, returning the server's liveness payload
+// (status plus registered-dataset count).
+func (c *Client) Health(ctx context.Context) (api.HealthResult, error) {
+	var out api.HealthResult
+	err := c.get(ctx, "/healthz", nil, &out)
+	return out, err
 }
 
 // Datasets lists the registered datasets.
@@ -189,6 +192,68 @@ func (c *Client) Ingest(ctx context.Context, opts IngestOptions, stream io.Reade
 	}
 	var out api.PostResult
 	err := c.post(ctx, "/v1/ingest", q, ct, stream, &out)
+	return out, err
+}
+
+// MultiIngestOptions parameterizes a one-pass multi-instance ingest.
+// Exactly the fields of the selected kind are consulted: Taus for "pps",
+// K and Family for "bottomk".
+type MultiIngestOptions struct {
+	Dataset string
+	// Instances lists the instance IDs the combined stream populates; the
+	// body's instance column must only use these IDs.
+	Instances []int
+	// Kind is "pps" or "bottomk".
+	Kind string
+	// Format is "csv" or "ndjson" (default ndjson).
+	Format string
+	// Salt and Shared define the randomization when the dataset does not
+	// exist yet; an existing dataset pins both.
+	Salt    uint64
+	SaltSet bool
+	Shared  bool
+	// Taus holds the PPS thresholds: one value shared by every instance,
+	// or one per instance.
+	Taus   []float64
+	K      int
+	Family string
+}
+
+// IngestMulti streams a combined (key, instance, value) stream to the
+// server, which summarizes every listed instance in one scan through the
+// engine's multi-instance pipeline and registers the results.
+func (c *Client) IngestMulti(ctx context.Context, opts MultiIngestOptions, stream io.Reader) (api.MultiPostResult, error) {
+	q := url.Values{
+		"dataset":   {opts.Dataset},
+		"instances": {instanceList(opts.Instances)},
+		"kind":      {opts.Kind},
+	}
+	if opts.Format != "" {
+		q.Set("format", opts.Format)
+	}
+	if opts.SaltSet {
+		q.Set("salt", strconv.FormatUint(opts.Salt, 10))
+		q.Set("shared", strconv.FormatBool(opts.Shared))
+	}
+	switch opts.Kind {
+	case "pps":
+		taus := make([]string, len(opts.Taus))
+		for i, tau := range opts.Taus {
+			taus[i] = strconv.FormatFloat(tau, 'g', -1, 64)
+		}
+		q.Set("tau", strings.Join(taus, ","))
+	case "bottomk":
+		q.Set("k", strconv.Itoa(opts.K))
+		if opts.Family != "" {
+			q.Set("family", opts.Family)
+		}
+	}
+	ct := "application/x-ndjson"
+	if opts.Format == "csv" {
+		ct = "text/csv"
+	}
+	var out api.MultiPostResult
+	err := c.post(ctx, "/v1/ingest/multi", q, ct, stream, &out)
 	return out, err
 }
 
