@@ -8,6 +8,7 @@
 //	estimate -query maxdominance a.json b.json
 //	estimate -query distinct     a.json b.json
 //	estimate -demo                      # generate, serialize, and query a demo pair
+//	estimate -demo -wire 2              # serialize the demo pair in the v2 binary format
 //	estimate -demo -shards 4 -batch 512 # demo summarization through the sharded engine
 //	estimate -demo -shards 4 -async -queue 16 # async engine: bounded queues
 //
@@ -22,6 +23,12 @@
 // demo's set summaries do not route through the engine (set sampling is
 // stateless), so non-default flags are rejected there rather than
 // silently ignored.
+//
+// -wire selects the serialization of the -demo summary files: 1 (the
+// default) writes the JSON wire format, 2 the compact binary v2 format.
+// The query side never needs a flag — summary files of any registered
+// wire format are decoded by sniffing, so v1 and v2 files mix freely on
+// one command line. Unregistered versions exit 2.
 package main
 
 import (
@@ -44,7 +51,17 @@ func main() {
 	batch := flag.Int("batch", engine.DefaultBatchSize, "per-shard batch size for -demo")
 	async := flag.Bool("async", false, "run the -demo engine in async mode (bounded per-shard queues)")
 	queue := flag.Int("queue", 0, "per-shard queue depth in batches for -demo (0 = default 8)")
+	wire := flag.Int("wire", 1, "wire version of the -demo summary files (1 = JSON, 2 = binary)")
 	flag.Parse()
+
+	if _, err := core.CodecByVersion(*wire); err != nil {
+		fmt.Fprintf(os.Stderr, "estimate: -wire %d: %v\n", *wire, err)
+		os.Exit(2)
+	}
+	if *wire != 1 && !*demo {
+		fmt.Fprintln(os.Stderr, "estimate: -wire only applies to -demo output (query inputs are sniffed)")
+		os.Exit(2)
+	}
 
 	cfg := engine.Config{
 		Parallel:   *shards != 1,
@@ -64,7 +81,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *demo {
-		if err := runDemo(*query, cfg); err != nil {
+		if err := runDemo(*query, cfg, *wire); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -124,10 +141,28 @@ func run(query, file1, file2 string) error {
 	return nil
 }
 
-func runDemo(query string, cfg engine.Config) error {
+func runDemo(query string, cfg engine.Config, wire int) error {
 	dir, err := os.MkdirTemp("", "estimate-demo-")
 	if err != nil {
 		return err
+	}
+	// The JSON files stay pretty-printed for eyeballing; binary files use
+	// the codec's canonical bytes and a .sum2 extension.
+	writeSummary := func(i int, sum core.Summary) (string, error) {
+		var data []byte
+		var err error
+		name := fmt.Sprintf("hour%d.json", i+1)
+		if wire == 1 {
+			data, err = json.MarshalIndent(sum, "", " ")
+		} else {
+			name = fmt.Sprintf("hour%d.sum%d", i+1, wire)
+			data, err = core.EncodeSummary(sum, wire)
+		}
+		if err != nil {
+			return "", err
+		}
+		path := filepath.Join(dir, name)
+		return path, os.WriteFile(path, data, 0o644)
 	}
 	m := simdata.Generate(simdata.ScaledTraffic(20))
 	s := core.NewSummarizer(2011)
@@ -136,12 +171,7 @@ func runDemo(query string, cfg engine.Config) error {
 	case "maxdominance":
 		for i := 0; i < 2; i++ {
 			sum := s.SummarizePPSExpectedSizeWith(cfg, i, m.Instances[i], 200)
-			data, err := json.MarshalIndent(sum, "", " ")
-			if err != nil {
-				return err
-			}
-			paths[i] = filepath.Join(dir, fmt.Sprintf("hour%d.json", i+1))
-			if err := os.WriteFile(paths[i], data, 0o644); err != nil {
+			if paths[i], err = writeSummary(i, sum); err != nil {
 				return err
 			}
 		}
@@ -154,12 +184,7 @@ func runDemo(query string, cfg engine.Config) error {
 				members[h] = true
 			}
 			sum := s.SummarizeSet(i, members, 0.2)
-			data, err := json.MarshalIndent(sum, "", " ")
-			if err != nil {
-				return err
-			}
-			paths[i] = filepath.Join(dir, fmt.Sprintf("hour%d.json", i+1))
-			if err := os.WriteFile(paths[i], data, 0o644); err != nil {
+			if paths[i], err = writeSummary(i, sum); err != nil {
 				return err
 			}
 		}

@@ -12,6 +12,7 @@
 //	summaryd -addr :9090            # custom listen address
 //	summaryd -shards 4 -batch 512   # sharded parallel ingest summarization
 //	summaryd -shards 4 -async -queue 16   # async ingest: bounded queues
+//	summaryd -wire 2                # binary default for summary fetch-backs
 //
 // -shards selects the ingest summarization strategy: 1 (the default) runs
 // the sequential pipeline, n>1 fans out across n hash-partitioned
@@ -23,6 +24,13 @@
 // 2 (engine.Config.Validate; 0 always means "use the default"). The
 // stored summary is identical for every setting — only ingest throughput
 // changes.
+//
+// -wire selects the wire format of GET /v1/summaries responses when the
+// client's Accept header names none: 1 (the default) answers JSON, 2 the
+// binary v2 format. Posts always accept every registered format by
+// Content-Type regardless of this flag, and an explicit Accept always
+// wins — the flag only moves the no-preference default. Unregistered
+// versions are rejected with exit 2.
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/server"
 )
@@ -47,7 +56,13 @@ func main() {
 	batch := flag.Int("batch", engine.DefaultBatchSize, "per-shard batch size for sharded ingest")
 	async := flag.Bool("async", false, "decouple ingest from sampling: bounded per-shard queues, stalls counted")
 	queue := flag.Int("queue", 0, "per-shard queue depth in batches (0 = default 8)")
+	wire := flag.Int("wire", 1, "default wire version for summary fetch-backs without an Accept preference (1 = JSON, 2 = binary)")
 	flag.Parse()
+
+	if _, err := core.CodecByVersion(*wire); err != nil {
+		fmt.Fprintf(os.Stderr, "summaryd: -wire %d: %v\n", *wire, err)
+		os.Exit(2)
+	}
 
 	cfg := engine.Config{
 		Parallel:   *shards != 1,
@@ -64,15 +79,16 @@ func main() {
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: server.New(server.NewRegistry(), cfg),
+		Handler: server.New(server.NewRegistry(), cfg, server.WithDefaultWire(*wire)),
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("summaryd: listening on %s (shards=%d, batch=%d, async=%v, queue=%d)",
-		*addr, cfg.NumShards(), cfg.EffectiveBatchSize(), cfg.Async, cfg.EffectiveQueueDepth())
+	log.Printf("summaryd: listening on %s (shards=%d, batch=%d, async=%v, queue=%d, wire=%d of %v)",
+		*addr, cfg.NumShards(), cfg.EffectiveBatchSize(), cfg.Async, cfg.EffectiveQueueDepth(),
+		*wire, core.SupportedWireVersions())
 
 	select {
 	case err := <-errc:

@@ -43,6 +43,7 @@ import (
 	"repro/internal/randx"
 	"repro/internal/sampling"
 	"repro/internal/server"
+	"repro/internal/xhash"
 	"repro/pkg/client"
 )
 
@@ -218,6 +219,72 @@ func main() {
 	check(err)
 	mustEqual("one-pass sum", srvS1.Sum, locS)
 	fmt.Printf("queries over the one-pass dataset match the per-instance path bit for bit ✓\n")
+
+	// --- wire format v2: binary posts mixed with JSON ---------------------
+	// The same summaries once more, but now the wire format varies per
+	// site: site 0 posts v1 JSON, sites 1 and 2 post the v2 binary format
+	// through a WithWireVersion(2) client. Codecs change bytes on the
+	// wire, never estimates — so the mixed dataset must answer every
+	// query with exactly the bits of the all-JSON dataset.
+	fmt.Printf("\nwire-format negotiation (v1 JSON vs v2 binary):\n\n")
+	c2 := client.New(c.BaseURL(), nil, client.WithWireVersion(2))
+	if hr.WireVersions == nil {
+		fmt.Fprintln(os.Stderr, "healthz advertises no wire versions")
+		os.Exit(1)
+	}
+	fmt.Printf("server speaks wire versions %v (healthz)\n", hr.WireVersions)
+
+	postMix, err := c.PostSummary(ctx, "flowsmix", ppsLocal[0])
+	check(err)
+	if postMix.Wire != 1 {
+		fmt.Fprintf(os.Stderr, "v1 post stored as wire %d\n", postMix.Wire)
+		os.Exit(1)
+	}
+	for i := 1; i <= 2; i++ {
+		postMix, err = c2.PostSummary(ctx, "flowsmix", ppsLocal[i])
+		check(err)
+		if postMix.Wire != 2 {
+			fmt.Fprintf(os.Stderr, "v2 post stored as wire %d\n", postMix.Wire)
+			os.Exit(1)
+		}
+	}
+	v1bytes, err := core.EncodeSummary(ppsLocal[1], 1)
+	check(err)
+	v2bytes, err := core.EncodeSummary(ppsLocal[1], 2)
+	check(err)
+	fmt.Printf("site 1 summary: %d bytes as JSON, %d bytes as v2 binary (%.0f%%)\n",
+		len(v1bytes), len(v2bytes), 100*float64(len(v2bytes))/float64(len(v1bytes)))
+
+	srvMixM, err := c.MaxDominance(ctx, "flowsmix", 0, 1)
+	check(err)
+	mustEqual("mixed-wire maxdominance", srvMixM.HT, locM.HT)
+	mustEqual("mixed-wire maxdominance", srvMixM.L, locM.L)
+	srvMixQ, err := c.Quantile(ctx, "flowsmix", uint64(hot), 2)
+	check(err)
+	mustEqual("mixed-wire quantile", srvMixQ.HT, locQ.HT)
+	srvMixS, err := c.Sum(ctx, "flowsmix", 2)
+	check(err)
+	mustEqual("mixed-wire sum", srvMixS.Sum, locS)
+	fmt.Printf("mixed v1/v2 dataset answers every query bit-identically to the all-JSON one ✓\n")
+
+	// Fetch-back negotiates per request: the same stored instance comes
+	// home as JSON (default Accept) and as binary (v2 Accept), decoding
+	// to bit-equal samples either way.
+	dec, err := c2.FetchDecodedSummary(ctx, "flowsmix", 1)
+	check(err)
+	decPPS, ok := dec.(*core.PPSSummary)
+	if !ok || !core.Combinable(decPPS, ppsLocal[1]) {
+		fmt.Fprintln(os.Stderr, "v2 fetch-back lost the summary's randomization")
+		os.Exit(1)
+	}
+	mustEqualSample("v2 fetch-back", decPPS.Sample, ppsLocal[1].Sample, decPPS.Tau, ppsLocal[1].Tau)
+	raw, err := c.FetchSummary(ctx, "flowsmix", 1)
+	check(err)
+	decJSON, err := core.DecodeSummary(raw)
+	check(err)
+	mustEqualSample("v1 fetch-back", decJSON.(*core.PPSSummary).Sample, ppsLocal[1].Sample,
+		decJSON.(*core.PPSSummary).Tau, ppsLocal[1].Tau)
+	fmt.Printf("fetch-back in both wire formats decodes to the same summary ✓\n")
 }
 
 // multiNdjsonBody renders all sites as one combined (key, instance,
@@ -264,6 +331,14 @@ func mustEqualSample(what string, got, want *sampling.WeightedSample, gotTau, wa
 	}
 }
 
+// flowID maps a small sequence number to a realistic 64-bit flow
+// identifier, the kind of key edge sites actually hold (hashes of
+// 5-tuples, not 1, 2, 3, …). Full-width keys are also what makes the v2
+// byte comparison honest: JSON spells all ~20 digits of each one.
+func flowID(seq uint64) dataset.Key {
+	return dataset.Key(xhash.Mix64(0x9E3779B97F4A7C15 ^ seq))
+}
+
 // makeSites builds three overlapping heavy-tailed instances: sharedKeys
 // keys active at every site (correlated values), plus uniqueKeys
 // site-local keys each.
@@ -273,9 +348,10 @@ func makeSites() []dataset.Instance {
 	for i := range sites {
 		sites[i] = make(dataset.Instance, sharedKeys+uniqueKeys)
 	}
-	key := dataset.Key(1)
+	seq := uint64(1)
 	for i := 0; i < sharedKeys; i++ {
 		base := math.Floor(rng.Pareto(4, 1.3)) + 1
+		key := flowID(seq)
 		for s := range sites {
 			v := math.Floor(base * (0.5 + rng.Float64()))
 			if v < 1 {
@@ -283,12 +359,12 @@ func makeSites() []dataset.Instance {
 			}
 			sites[s][key] = v
 		}
-		key++
+		seq++
 	}
 	for s := range sites {
 		for i := 0; i < uniqueKeys; i++ {
-			sites[s][key] = math.Floor(rng.Pareto(4, 1.3)) + 1
-			key++
+			sites[s][flowID(seq)] = math.Floor(rng.Pareto(4, 1.3)) + 1
+			seq++
 		}
 	}
 	return sites
@@ -325,7 +401,8 @@ func csvBody(in dataset.Instance) []byte {
 func hottestSharedKey(sites []dataset.Instance) (dataset.Key, float64) {
 	var best dataset.Key
 	bestMin := -1.0
-	for h := dataset.Key(1); h <= sharedKeys; h++ {
+	for seq := uint64(1); seq <= sharedKeys; seq++ {
+		h := flowID(seq)
 		m := math.Inf(1)
 		for _, in := range sites {
 			if v := in[h]; v < m {

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"repro/internal/dataset"
@@ -13,24 +16,29 @@ import (
 
 // Summaries are what a dispersed system actually ships: a sample plus the
 // metadata needed to recompute inclusion probabilities and seeds. This
-// file provides a stable JSON wire format so summaries can be transmitted
-// or archived and recombined later ("post hoc" estimation, §1).
+// file holds the v1 JSON wire format (the codec registered as version 1 in
+// codec.go) and the historical Encode*/Decode* entry points, which are now
+// thin wrappers over the codec registry: they accept any registered format
+// by sniffing, so a caller holding v1 JSON or v2 binary bytes decodes
+// through the same functions.
 
-// WireVersion is the current wire-format version emitted by the encoders.
+// WireVersion is the version of the JSON wire format this file implements.
+// Binary formats carry their own version in the header (codecv2.go);
+// SupportedWireVersions lists everything this build speaks.
 const WireVersion = 1
 
 // ErrUnknownVersion reports a summary whose wire-format version this
-// build does not speak. Callers negotiating formats (e.g. a server that
-// will eventually accept a binary v2 alongside JSON v1) can detect it
-// with errors.Is and reply with an upgrade hint instead of a generic
-// decode failure.
+// build does not speak. Callers negotiating formats (the summary server
+// accepting posts, pkg/client choosing what to send) detect it with
+// errors.Is and reply with an upgrade hint — the server maps it to HTTP
+// 415 listing SupportedWireVersions — instead of a generic decode failure.
 var ErrUnknownVersion = errors.New("core: unknown summary wire-format version")
 
-// checkVersion validates a decoded version number against WireVersion.
+// checkVersion validates a decoded JSON version number against WireVersion.
 func checkVersion(kind string, version int) error {
 	if version != WireVersion {
-		return fmt.Errorf("core: %s summary version %d (supported: %d): %w",
-			kind, version, WireVersion, ErrUnknownVersion)
+		return fmt.Errorf("core: %s summary version %d (supported: %v): %w",
+			kind, version, SupportedWireVersions(), ErrUnknownVersion)
 	}
 	return nil
 }
@@ -58,7 +66,7 @@ type setWire struct {
 }
 
 // MarshalJSON encodes the summary together with its randomization salt, so
-// the receiver can recompute every seed.
+// the receiver can recompute every seed. This is the v1 codec's encoder.
 func (p *PPSSummary) MarshalJSON() ([]byte, error) {
 	return json.Marshal(ppsWire{
 		Version:  WireVersion,
@@ -71,17 +79,8 @@ func (p *PPSSummary) MarshalJSON() ([]byte, error) {
 	})
 }
 
-// DecodePPSSummary reconstructs a PPSSummary from its wire form. Summaries
-// decoded from the same salt are combinable exactly like freshly drawn
-// ones.
-func DecodePPSSummary(data []byte) (*PPSSummary, error) {
-	var w ppsWire
-	if err := json.Unmarshal(data, &w); err != nil {
-		return nil, fmt.Errorf("core: decoding PPS summary: %w", err)
-	}
-	if w.Kind != "pps" {
-		return nil, fmt.Errorf("core: expected kind %q, got %q", "pps", w.Kind)
-	}
+// decodePPSWire reconstructs a PPSSummary from its parsed v1 wire form.
+func decodePPSWire(w ppsWire) (*PPSSummary, error) {
 	if err := checkVersion("pps", w.Version); err != nil {
 		return nil, err
 	}
@@ -118,15 +117,8 @@ func (s *SetSummary) MarshalJSON() ([]byte, error) {
 	})
 }
 
-// DecodeSetSummary reconstructs a SetSummary from its wire form.
-func DecodeSetSummary(data []byte) (*SetSummary, error) {
-	var w setWire
-	if err := json.Unmarshal(data, &w); err != nil {
-		return nil, fmt.Errorf("core: decoding set summary: %w", err)
-	}
-	if w.Kind != "set" {
-		return nil, fmt.Errorf("core: expected kind %q, got %q", "set", w.Kind)
-	}
+// decodeSetWire reconstructs a SetSummary from its parsed v1 wire form.
+func decodeSetWire(w setWire) (*SetSummary, error) {
 	if err := checkVersion("set", w.Version); err != nil {
 		return nil, err
 	}
@@ -180,15 +172,9 @@ func (b *BottomKSummary) MarshalJSON() ([]byte, error) {
 	})
 }
 
-// DecodeBottomKSummary reconstructs a BottomKSummary from its wire form.
-func DecodeBottomKSummary(data []byte) (*BottomKSummary, error) {
-	var w bottomkWire
-	if err := json.Unmarshal(data, &w); err != nil {
-		return nil, fmt.Errorf("core: decoding bottom-k summary: %w", err)
-	}
-	if w.Kind != "bottomk" {
-		return nil, fmt.Errorf("core: expected kind %q, got %q", "bottomk", w.Kind)
-	}
+// decodeBottomKWire reconstructs a BottomKSummary from its parsed v1 wire
+// form.
+func decodeBottomKWire(w bottomkWire) (*BottomKSummary, error) {
 	if err := checkVersion("bottomk", w.Version); err != nil {
 		return nil, err
 	}
@@ -219,7 +205,7 @@ func DecodeBottomKSummary(data []byte) (*BottomKSummary, error) {
 	}, nil
 }
 
-// Summary is any decoded or freshly drawn summary the wire format can
+// Summary is any decoded or freshly drawn summary the wire formats can
 // carry. The interface is satisfied only by this package's summary types:
 // combinability checks need access to the underlying seeder.
 type Summary interface {
@@ -263,11 +249,30 @@ func (b *BottomKSummary) Size() int { return b.Len() }
 // Seeder returns the randomization a summary was drawn under.
 func SummarySeeder(s Summary) xhash.Seeder { return s.seederOf() }
 
-// DecodeSummary reconstructs a summary of any kind from its wire form,
-// dispatching on the "kind" tag. It is the trust-boundary entry point for
-// services that accept posted summaries without knowing their kind in
-// advance.
+// DecodeSummary reconstructs a summary of any kind from its wire form —
+// the v2 binary layout (recognized by its magic bytes) or v1 JSON
+// (dispatching on the "kind" tag). It is the trust-boundary entry point
+// for callers holding a complete message; services reading from a stream
+// use DecodeSummaryFrom. A v2 message with trailing bytes is rejected,
+// matching encoding/json's whole-document discipline.
 func DecodeSummary(data []byte) (Summary, error) {
+	if len(data) >= 2 && data[0] == v2Magic0 && data[1] == v2Magic1 {
+		br := bufio.NewReader(bytes.NewReader(data))
+		s, err := decodeSummaryV2(br)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := br.ReadByte(); err != io.EOF {
+			return nil, fmt.Errorf("core: decoding v2 summary: trailing data after entries")
+		}
+		return s, nil
+	}
+	return decodeSummaryJSON(data)
+}
+
+// decodeSummaryJSON is the v1 decoder: kind-tag dispatch over the JSON
+// wire structs.
+func decodeSummaryJSON(data []byte) (Summary, error) {
 	var head struct {
 		Version int    `json:"version"`
 		Kind    string `json:"kind"`
@@ -277,11 +282,23 @@ func DecodeSummary(data []byte) (Summary, error) {
 	}
 	switch head.Kind {
 	case "pps":
-		return DecodePPSSummary(data)
+		var w ppsWire
+		if err := json.Unmarshal(data, &w); err != nil {
+			return nil, fmt.Errorf("core: decoding PPS summary: %w", err)
+		}
+		return decodePPSWire(w)
 	case "set":
-		return DecodeSetSummary(data)
+		var w setWire
+		if err := json.Unmarshal(data, &w); err != nil {
+			return nil, fmt.Errorf("core: decoding set summary: %w", err)
+		}
+		return decodeSetWire(w)
 	case "bottomk":
-		return DecodeBottomKSummary(data)
+		var w bottomkWire
+		if err := json.Unmarshal(data, &w); err != nil {
+			return nil, fmt.Errorf("core: decoding bottom-k summary: %w", err)
+		}
+		return decodeBottomKWire(w)
 	default:
 		// An unrecognized (or missing) kind on an unrecognized version is
 		// a future format: surface the typed version error so callers can
@@ -294,6 +311,40 @@ func DecodeSummary(data []byte) (Summary, error) {
 		}
 		return nil, fmt.Errorf("core: unknown summary kind %q", head.Kind)
 	}
+}
+
+// decodeAs narrows DecodeSummary to one concrete summary type, naming the
+// expected kind in the error. It accepts any registered wire format.
+func decodeAs[T Summary](data []byte, kind string) (T, error) {
+	var zero T
+	s, err := DecodeSummary(data)
+	if err != nil {
+		return zero, err
+	}
+	t, ok := s.(T)
+	if !ok {
+		return zero, fmt.Errorf("core: expected kind %q, got %q", kind, s.Kind())
+	}
+	return t, nil
+}
+
+// DecodePPSSummary reconstructs a PPSSummary from its wire form (v1 JSON
+// or v2 binary). Summaries decoded from the same salt are combinable
+// exactly like freshly drawn ones.
+func DecodePPSSummary(data []byte) (*PPSSummary, error) {
+	return decodeAs[*PPSSummary](data, "pps")
+}
+
+// DecodeSetSummary reconstructs a SetSummary from its wire form (v1 JSON
+// or v2 binary).
+func DecodeSetSummary(data []byte) (*SetSummary, error) {
+	return decodeAs[*SetSummary](data, "set")
+}
+
+// DecodeBottomKSummary reconstructs a BottomKSummary from its wire form
+// (v1 JSON or v2 binary).
+func DecodeBottomKSummary(data []byte) (*BottomKSummary, error) {
+	return decodeAs[*BottomKSummary](data, "bottomk")
 }
 
 // Combinable reports whether two decoded or freshly drawn summaries share

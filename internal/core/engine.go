@@ -76,6 +76,12 @@ func (s *Summarizer) StreamBottomK(cfg engine.Config, instance int, k int, fam s
 // Push offers one (key, value) arrival.
 func (b *BottomKStream) Push(h dataset.Key, v float64) { b.e.Push(h, v) }
 
+// TryPush offers one arrival without blocking: where Push would stall on a
+// full shard queue, it returns engine.ErrQueueFull (counted in
+// Stats().Rejected) — the opt-in path for lossy producers that prefer
+// dropping an arrival over stalling.
+func (b *BottomKStream) TryPush(h dataset.Key, v float64) error { return b.e.TryPush(h, v) }
+
 // Snapshot returns the summary of exactly the arrivals pushed so far —
 // equal to a sequential pass over that prefix — without closing the
 // stream. With an async engine config this is the live-monitoring hook:
@@ -114,6 +120,11 @@ func (s *Summarizer) StreamPPS(cfg engine.Config, instance int, tau float64) *PP
 
 // Push offers one (key, value) arrival.
 func (p *PPSStream) Push(h dataset.Key, v float64) { p.e.Push(h, v) }
+
+// TryPush offers one arrival without blocking: where Push would stall on a
+// full shard queue, it returns engine.ErrQueueFull (counted in
+// Stats().Rejected).
+func (p *PPSStream) TryPush(h dataset.Key, v float64) error { return p.e.TryPush(h, v) }
 
 // Snapshot returns the summary of exactly the arrivals pushed so far
 // without closing the stream.
@@ -197,9 +208,18 @@ type MultiPPSStream struct {
 
 // StreamMultiPPS opens a one-pass Poisson PPS summarization stream over
 // the given instance IDs; taus[i] is the threshold of instances[i].
+// Thresholds must be positive: the degenerate batch semantics of
+// SummarizePPSWith (tau = 0 keeps every positive key, tau < 0 none) have
+// no streaming sampler — SummarizeMultiPPSWith handles them by falling
+// back to per-instance batch summarization.
 func (s *Summarizer) StreamMultiPPS(cfg engine.Config, instances []int, taus []float64) *MultiPPSStream {
 	if len(instances) != len(taus) {
 		panic("core: StreamMultiPPS needs one threshold per instance")
+	}
+	for _, tau := range taus {
+		if tau <= 0 {
+			panic("core: StreamMultiPPS needs positive thresholds (degenerate taus are batch-only; see SummarizeMultiPPSWith)")
+		}
 	}
 	ids := append([]int(nil), instances...)
 	ts := append([]float64(nil), taus...)
@@ -235,10 +255,25 @@ func (m *MultiPPSStream) wrap(samples []*sampling.WeightedSample) []*PPSSummary 
 
 // SummarizeMultiPPSWith draws PPS summaries of r materialized instances in
 // one pass: ins[i] is summarized as instance instances[i] with threshold
-// taus[i]. Bit-identical to calling SummarizePPSWith per instance.
+// taus[i]. Bit-identical to calling SummarizePPSWith per instance,
+// including the degenerate thresholds (tau = 0 keeps every positive key,
+// tau < 0 none) — those have no streaming sampler, so their presence
+// drops the whole call to per-instance batch summarization.
 func (s *Summarizer) SummarizeMultiPPSWith(cfg engine.Config, instances []int, ins []dataset.Instance, taus []float64) []*PPSSummary {
 	if len(instances) != len(ins) {
 		panic("core: SummarizeMultiPPSWith needs one instance ID per instance")
+	}
+	if len(instances) != len(taus) {
+		panic("core: SummarizeMultiPPSWith needs one threshold per instance")
+	}
+	for _, tau := range taus {
+		if tau <= 0 {
+			out := make([]*PPSSummary, len(ins))
+			for i, in := range ins {
+				out[i] = s.SummarizePPSWith(cfg, instances[i], in, taus[i])
+			}
+			return out
+		}
 	}
 	st := s.StreamMultiPPS(cfg, instances, taus)
 	for i, in := range ins {

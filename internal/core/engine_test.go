@@ -185,3 +185,41 @@ func TestSummarizePPSDegenerateTau(t *testing.T) {
 		t.Errorf("tau<0: sampled %d keys, want none", neg.Len())
 	}
 }
+
+// TestSummarizeMultiPPSDegenerateTau: the one-pass entry point honors the
+// degenerate batch thresholds (tau = 0 keeps every positive key, tau < 0
+// none) exactly like r per-instance SummarizePPSWith calls — their
+// presence drops the call to the batch path instead of panicking in the
+// streaming sampler.
+func TestSummarizeMultiPPSDegenerateTau(t *testing.T) {
+	s := NewSummarizer(17)
+	ins := []dataset.Instance{engineTestInstance(300), engineTestInstance(300), engineTestInstance(300)}
+	taus := []float64{0, 25, -1}
+	got := s.SummarizeMultiPPSWith(engine.Config{}, []int{0, 1, 2}, ins, taus)
+	for i, in := range ins {
+		want := s.SummarizePPSWith(engine.Config{}, i, in, taus[i])
+		if got[i].Tau != want.Tau || got[i].Len() != want.Len() {
+			t.Fatalf("instance %d (tau %v): (tau %v, %d keys) != (tau %v, %d keys)",
+				i, taus[i], got[i].Tau, got[i].Len(), want.Tau, want.Len())
+		}
+		for h, v := range want.Sample.Values {
+			if got[i].Sample.Values[h] != v {
+				t.Fatalf("instance %d key %d: %v != %v", i, h, got[i].Sample.Values[h], v)
+			}
+		}
+	}
+	if got[0].Len() != len(ins[0]) {
+		t.Fatalf("tau 0 kept %d of %d keys, want all", got[0].Len(), len(ins[0]))
+	}
+	if got[2].Len() != 0 {
+		t.Fatalf("tau < 0 kept %d keys, want none", got[2].Len())
+	}
+	// The streaming entry point has no batch fallback: it must refuse
+	// degenerate thresholds loudly rather than mis-sample.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StreamMultiPPS accepted a non-positive threshold")
+		}
+	}()
+	s.StreamMultiPPS(engine.Config{}, []int{0}, []float64{0})
+}

@@ -39,6 +39,13 @@ func (e *BottomK) Push(h dataset.Key, v float64) {
 	e.pipeline.Push(Pair{Key: h, Value: v})
 }
 
+// TryPush offers one arrival without blocking: where Push would stall on a
+// full shard queue, TryPush returns ErrQueueFull and drops nothing already
+// accepted. Rejections are counted in Stats().Rejected.
+func (e *BottomK) TryPush(h dataset.Key, v float64) error {
+	return e.pipeline.TryPush(Pair{Key: h, Value: v})
+}
+
 // Snapshot quiesces the pipeline and returns the merged bottom-k sample of
 // exactly the pairs pushed so far — equal to a sequential pass over that
 // prefix. The pipeline remains usable afterwards.
@@ -117,6 +124,14 @@ func (e *MultiBottomK) Instances() int { return e.r }
 func (e *MultiBottomK) Push(instance int, h dataset.Key, v float64) {
 	checkInstance(instance, e.r)
 	e.pipeline.Push(MultiPair{Key: h, Instance: instance, Value: v})
+}
+
+// TryPush offers one arrival of the given instance without blocking,
+// returning ErrQueueFull where Push would stall (counted in
+// Stats().Rejected).
+func (e *MultiBottomK) TryPush(instance int, h dataset.Key, v float64) error {
+	checkInstance(instance, e.r)
+	return e.pipeline.TryPush(MultiPair{Key: h, Instance: instance, Value: v})
 }
 
 // PushBatch offers a slice of combined-stream arrivals.

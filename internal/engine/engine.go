@@ -50,12 +50,20 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 
 	"repro/internal/dataset"
 	"repro/internal/xhash"
 )
+
+// ErrQueueFull reports a TryPush that found its destination shard's
+// bounded queue full with a full batch to hand off. It is the typed
+// backpressure signal of the non-blocking producer path: lossy producers
+// (live taps, UDP-style feeds) drop the arrival and move on instead of
+// stalling, and every rejection is counted in Stats().Rejected.
+var ErrQueueFull = errors.New("engine: shard queue full")
 
 // DefaultBatchSize is the number of pairs buffered per shard before they
 // are handed to the shard's worker. 1024 pairs ≈ 16 KiB per batch: large
@@ -188,6 +196,10 @@ type Stats struct {
 	// queue full and had to wait for the worker — the backpressure signal.
 	// A stall lasts at most the time the worker needs to drain one batch.
 	Stalls uint64
+	// Rejected counts arrivals refused by TryPush because the destination
+	// shard's queue was full — the lossy-producer counterpart of Stalls
+	// (blocking Push stalls; non-blocking TryPush rejects).
+	Rejected uint64
 	// Shards is the effective shard (worker) count; 1 on the sequential
 	// path.
 	Shards int

@@ -57,6 +57,26 @@ func (p *pipeline[T, S]) PushBatch(items []T) {
 	}
 }
 
+// TryPush offers one arrival without ever blocking on a full shard queue:
+// where Push would stall waiting for the worker, TryPush refuses the item
+// with ErrQueueFull instead (counted in Stats().Rejected). On the in-line
+// sequential path — which has no queues — it always accepts.
+func (p *pipeline[T, S]) TryPush(item T) error {
+	if p.closed {
+		panic("engine: TryPush after Close")
+	}
+	if p.inline {
+		p.pairs++
+		p.apply(p.seq, item)
+		return nil
+	}
+	if err := p.sh.tryPush(item); err != nil {
+		return err
+	}
+	p.pairs++
+	return nil
+}
+
 // samplers quiesces the pipeline and returns the per-shard sampler state
 // for reading: on return every pushed item has been applied and the
 // workers sit idle, so the producer goroutine may inspect the samplers.
@@ -93,6 +113,7 @@ func (p *pipeline[T, S]) Stats() Stats {
 		st.QueueDepth = p.sh.depth
 		st.Batches = p.sh.batches
 		st.Stalls = p.sh.stalls
+		st.Rejected = p.sh.rejects
 	}
 	return st
 }
@@ -118,6 +139,7 @@ type sharder[T, S any] struct {
 	samplers []S
 	batches  uint64
 	stalls   uint64
+	rejects  uint64
 	wg       sync.WaitGroup
 }
 
@@ -180,6 +202,33 @@ func (sh *sharder[T, S]) send(i int, items []T) {
 	default:
 		sh.stalls++
 		sh.chans[i] <- batch[T]{items: items}
+	}
+}
+
+// tryPush routes one arrival to its shard like push, but never blocks:
+// when accepting the item would fill the shard's batch and the queue has
+// no free slot for the handoff, the item is refused with ErrQueueFull and
+// the buffered prefix stays intact. Arrivals that merely join a non-full
+// buffer are always accepted — rejection happens exactly at the handoff
+// boundary, where Push would have stalled.
+func (sh *sharder[T, S]) tryPush(item T) error {
+	i := 0
+	if len(sh.chans) > 1 {
+		i = shardOf(sh.key(item), len(sh.chans))
+	}
+	buf := sh.bufs[i]
+	if len(buf)+1 < sh.batch {
+		sh.bufs[i] = append(buf, item)
+		return nil
+	}
+	select {
+	case sh.chans[i] <- batch[T]{items: append(buf, item)}:
+		sh.batches++
+		sh.bufs[i] = make([]T, 0, sh.batch)
+		return nil
+	default:
+		sh.rejects++
+		return ErrQueueFull
 	}
 }
 

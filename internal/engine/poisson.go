@@ -31,6 +31,13 @@ func (e *PoissonPPS) Push(h dataset.Key, v float64) {
 	e.pipeline.Push(Pair{Key: h, Value: v})
 }
 
+// TryPush offers one arrival without blocking: where Push would stall on a
+// full shard queue, TryPush returns ErrQueueFull and drops nothing already
+// accepted. Rejections are counted in Stats().Rejected.
+func (e *PoissonPPS) TryPush(h dataset.Key, v float64) error {
+	return e.pipeline.TryPush(Pair{Key: h, Value: v})
+}
+
 // Snapshot quiesces the pipeline and returns the merged PPS sample of
 // exactly the pairs pushed so far — equal to a sequential pass over that
 // prefix. The pipeline remains usable afterwards.
@@ -102,6 +109,14 @@ func (e *MultiPoissonPPS) Instances() int { return e.r }
 func (e *MultiPoissonPPS) Push(instance int, h dataset.Key, v float64) {
 	checkInstance(instance, e.r)
 	e.pipeline.Push(MultiPair{Key: h, Instance: instance, Value: v})
+}
+
+// TryPush offers one arrival of the given instance without blocking,
+// returning ErrQueueFull where Push would stall (counted in
+// Stats().Rejected).
+func (e *MultiPoissonPPS) TryPush(instance int, h dataset.Key, v float64) error {
+	checkInstance(instance, e.r)
+	return e.pipeline.TryPush(MultiPair{Key: h, Instance: instance, Value: v})
 }
 
 // PushBatch offers a slice of combined-stream arrivals.

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sampling"
+)
+
+// TestTryPushRejectsWithoutStalling pins the non-blocking contract: with
+// the shard worker deterministically wedged inside its sampler and the
+// bounded queue full, TryPush must return ErrQueueFull immediately — if it
+// blocked like Push, this test would deadlock, because the worker is only
+// released after the rejection is observed. Accepted arrivals survive to
+// Close; the rejected one is dropped and counted.
+func TestTryPushRejectsWithoutStalling(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	seed := func(h dataset.Key) float64 {
+		// First application wedges the worker until the producer has seen
+		// the rejection; later applications are instant.
+		once.Do(func() {
+			close(started)
+			<-release
+		})
+		return 0.5
+	}
+
+	// One async shard, one-pair batches, a one-batch queue: after the
+	// worker takes the first batch and wedges, a single queued batch fills
+	// the queue and the third arrival has nowhere to go.
+	// tauStar 10 with seed 0.5 keeps every value ≥ 5, so both accepted
+	// arrivals land in the sample.
+	e := NewPoissonPPS(10, seed, Config{Async: true, BatchSize: 1, QueueDepth: 1})
+
+	if err := e.TryPush(1, 10); err != nil {
+		t.Fatalf("first TryPush: %v", err)
+	}
+	<-started // the worker now owns batch 1 and is wedged in seed()
+	if err := e.TryPush(2, 20); err != nil {
+		t.Fatalf("second TryPush (fills the queue): %v", err)
+	}
+	if err := e.TryPush(3, 30); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third TryPush on a full queue: got %v, want ErrQueueFull", err)
+	}
+	st := e.Stats()
+	if st.Pairs != 2 {
+		t.Errorf("Pairs = %d, want 2 (the rejected arrival must not count)", st.Pairs)
+	}
+	if st.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", st.Rejected)
+	}
+
+	close(release)
+	sample := e.Close()
+	if len(sample.Values) != 2 || sample.Values[1] != 10 || sample.Values[2] != 20 {
+		t.Errorf("summary %v, want exactly keys 1 and 2", sample.Values)
+	}
+}
+
+// TestTryPushInlineAlwaysAccepts: the sequential in-line path has no
+// queues, so TryPush degenerates to Push and never rejects.
+func TestTryPushInlineAlwaysAccepts(t *testing.T) {
+	e := NewBottomK(4, sampling.PPS{}, func(h dataset.Key) float64 { return 0.5 }, Config{})
+	for i := 1; i <= 100; i++ {
+		if err := e.TryPush(dataset.Key(i), float64(i)); err != nil {
+			t.Fatalf("inline TryPush %d: %v", i, err)
+		}
+	}
+	st := e.Stats()
+	if st.Pairs != 100 || st.Rejected != 0 {
+		t.Fatalf("Stats = %+v, want 100 pairs, 0 rejected", st)
+	}
+	if got := e.Close().Len(); got != 4 {
+		t.Fatalf("sample size %d, want 4", got)
+	}
+}
+
+// TestTryPushMatchesPushWhenNeverFull: on an uncontended async pipeline a
+// TryPush-fed stream must close to the same bits as a Push-fed one — the
+// non-blocking path changes scheduling, never sampling.
+func TestTryPushMatchesPushWhenNeverFull(t *testing.T) {
+	seed := func(h dataset.Key) float64 {
+		return float64(uint64(h)%997) / 997
+	}
+	cfg := Config{Parallel: true, Shards: 3, Async: true, BatchSize: 8, QueueDepth: 4}
+	try := NewBottomK(16, sampling.PPS{}, seed, cfg)
+	push := NewBottomK(16, sampling.PPS{}, seed, Config{})
+	for i := 1; i <= 2000; i++ {
+		h, v := dataset.Key(i*31), float64(1+i%13)
+		// An uncontended queue can still momentarily fill if the scheduler
+		// starves the worker; retry like a lossy producer that respects
+		// the signal, so the comparison stays exact.
+		for {
+			if err := try.TryPush(h, v); err == nil {
+				break
+			} else if !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("TryPush: %v", err)
+			}
+		}
+		push.Push(h, v)
+	}
+	got, want := try.Close(), push.Close()
+	if got.Tau != want.Tau || len(got.Values) != len(want.Values) {
+		t.Fatalf("tau/size mismatch: (%v, %d) vs (%v, %d)", got.Tau, len(got.Values), want.Tau, len(want.Values))
+	}
+	for h, v := range want.Values {
+		if got.Values[h] != v {
+			t.Fatalf("key %d: %v != %v", h, got.Values[h], v)
+		}
+	}
+}

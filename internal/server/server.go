@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,19 +22,38 @@ const maxSummaryBody = 64 << 20
 
 // Server is the HTTP face of a Registry. It is an http.Handler serving:
 //
-//	GET  /healthz              liveness probe (status + dataset count)
+//	GET  /healthz              liveness probe (status, dataset count, wire versions)
 //	GET  /v1/datasets          list registered datasets
-//	GET  /v1/summaries         fetch one stored summary in wire form
-//	POST /v1/summaries         store a summary (core JSON wire format)
+//	GET  /v1/summaries         fetch one stored summary (Accept-negotiated wire form)
+//	POST /v1/summaries         store a summary (v1 JSON or v2 binary, by Content-Type)
 //	POST /v1/ingest            summarize a raw CSV/ndjson pair stream
 //	POST /v1/ingest/multi      one-pass multi-instance ingest (instance column)
 //	GET  /v1/query             estimate over a stored subset
 //
-// Every error response is JSON: {"error": "..."}.
+// Every error response is JSON: {"error": "..."}; wire-format negotiation
+// failures (415/406) additionally list the supported versions.
 type Server struct {
-	reg *Registry
-	cfg engine.Config
-	mux *http.ServeMux
+	reg         *Registry
+	cfg         engine.Config
+	mux         *http.ServeMux
+	defaultWire core.Codec
+}
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithDefaultWire selects the wire format of summary fetch-backs when the
+// client's Accept header names none (no header, or */*). The default
+// default is version 1 (JSON) — the conservative choice for curl and old
+// clients; a deployment fronted only by v2-aware clients can flip it
+// (summaryd -wire 2). It panics on an unregistered version, like New on
+// an invalid engine config: both are construction-time misconfigurations.
+func WithDefaultWire(version int) Option {
+	c, err := core.CodecByVersion(version)
+	if err != nil {
+		panic(err)
+	}
+	return func(s *Server) { s.defaultWire = c }
 }
 
 // New builds a server around a registry. The engine config selects the
@@ -42,15 +62,24 @@ type Server struct {
 // config — surfacing the misconfiguration at construction rather than as
 // a per-request pipeline panic; callers holding user input validate with
 // engine.Config.Validate first (as cmd/summaryd does).
-func New(reg *Registry, cfg engine.Config) *Server {
+func New(reg *Registry, cfg engine.Config, opts ...Option) *Server {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	s := &Server{reg: reg, cfg: cfg, mux: http.NewServeMux()}
+	s.defaultWire, _ = core.CodecByVersion(1)
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Status plus dataset count: load balancers probe liveness, and
-		// operators get a one-number capacity read for free.
-		writeJSON(w, http.StatusOK, HealthResult{Status: "ok", Datasets: s.reg.Count()})
+		// operators get a one-number capacity read plus the codec
+		// vocabulary for free.
+		writeJSON(w, http.StatusOK, HealthResult{
+			Status:       "ok",
+			Datasets:     s.reg.Count(),
+			WireVersions: core.SupportedWireVersions(),
+		})
 	})
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /v1/summaries", s.handleFetchSummary)
@@ -67,27 +96,41 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", jsonContentType)
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	_ = enc.Encode(v)
 }
 
+// jsonContentType is the explicit content type of every JSON response,
+// charset included so proxies and browsers never guess.
+const jsonContentType = "application/json; charset=utf-8"
+
+// errNotAcceptable reports an Accept header that names no representation
+// the server can produce (HTTP 406). Unknown wire *versions* are the
+// separate, more specific core.ErrUnknownVersion (HTTP 415).
+var errNotAcceptable = errors.New("server: no acceptable summary representation")
+
 // writeError maps a registry/decode error to its status code.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
+	body := ErrorResult{Error: err.Error()}
 	switch {
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrIncompatible):
 		status = http.StatusConflict
 	case errors.Is(err, core.ErrUnknownVersion):
-		// A future wire format: tell the poster to negotiate down rather
-		// than hiding the cause in a generic 400.
+		// A future wire format: tell the poster which versions this build
+		// speaks rather than hiding the cause in a generic 400.
 		status = http.StatusUnsupportedMediaType
+		body.Supported = core.SupportedWireVersions()
+	case errors.Is(err, errNotAcceptable):
+		status = http.StatusNotAcceptable
+		body.Supported = core.SupportedWireVersions()
 	}
-	writeJSON(w, status, ErrorResult{Error: err.Error()})
+	writeJSON(w, status, body)
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
@@ -100,14 +143,42 @@ func (s *Server) handlePostSummary(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("server: missing dataset parameter"))
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSummaryBody))
-	if err != nil {
-		writeError(w, fmt.Errorf("server: reading summary body: %w", err))
+	// The server owns the buffered reader so the trailing-bytes check
+	// below sees what the decoders left behind (both streaming decoders
+	// reuse an existing *bufio.Reader instead of wrapping their own).
+	body := bufio.NewReaderSize(http.MaxBytesReader(w, r.Body, maxSummaryBody), 4096)
+	var (
+		sum  core.Summary
+		wire int
+		err  error
+	)
+	// Content-Type drives the decoder. A content type that names a wire
+	// version selects that codec strictly (a declared-v2 body that is not
+	// v2 is a 400, not a guess); one outside the wire vocabulary — curl's
+	// form-urlencoded default, text/plain, nothing at all — falls back to
+	// sniffing, which keeps every pre-negotiation client working. An
+	// explicitly named but unregistered version is the one case that must
+	// not be guessed around: 415 with the supported list.
+	if codec, named, cterr := core.CodecByContentType(r.Header.Get("Content-Type")); cterr != nil {
+		writeError(w, cterr)
 		return
+	} else if named {
+		wire = codec.Version()
+		sum, err = codec.DecodeFrom(body)
+	} else {
+		sum, wire, err = core.DecodeSummaryFrom(body)
 	}
-	sum, err := core.DecodeSummary(body)
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	// One summary per post: the streaming v2 decoder stops after the last
+	// declared entry, so enforce the whole-body discipline here (the JSON
+	// path gets it from encoding/json). Without this, a client that
+	// concatenates two summaries in one POST would lose the second with a
+	// success response.
+	if _, err := body.ReadByte(); err != io.EOF {
+		writeError(w, fmt.Errorf("server: trailing data after summary (one summary per post)"))
 		return
 	}
 	if err := s.reg.Put(ds, sum); err != nil {
@@ -119,7 +190,44 @@ func (s *Server) handlePostSummary(w http.ResponseWriter, r *http.Request) {
 		Instance: sum.InstanceID(),
 		Kind:     sum.Kind(),
 		Size:     sum.Size(),
+		Wire:     wire,
 	})
+}
+
+// negotiateFetchCodec resolves a summary fetch's Accept header to a codec.
+// No header (or only wildcards) selects the server's default wire format;
+// media ranges are scanned in order and the first one naming a registered
+// format wins. An Accept that names only unregistered wire versions is a
+// 415 carrying the supported list (the negotiation contract: unknown
+// versions always answer 415); one naming only foreign types is a plain
+// 406.
+func (s *Server) negotiateFetchCodec(accept string) (core.Codec, error) {
+	if accept == "" {
+		return s.defaultWire, nil
+	}
+	var unknown error
+	for _, part := range strings.Split(accept, ",") {
+		media := part
+		if i := strings.IndexByte(media, ';'); i >= 0 {
+			media = media[:i] // media-range parameters (q=…) carry no format information here
+		}
+		media = strings.TrimSpace(media)
+		if media == "*/*" || media == "application/*" {
+			return s.defaultWire, nil
+		}
+		codec, named, err := core.CodecByContentType(media)
+		if err != nil {
+			unknown = err
+			continue
+		}
+		if named {
+			return codec, nil
+		}
+	}
+	if unknown != nil {
+		return nil, unknown
+	}
+	return nil, fmt.Errorf("%w: Accept %q", errNotAcceptable, accept)
 }
 
 func (s *Server) handleFetchSummary(w http.ResponseWriter, r *http.Request) {
@@ -130,17 +238,27 @@ func (s *Server) handleFetchSummary(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("server: fetch needs dataset and instance parameters"))
 		return
 	}
+	codec, err := s.negotiateFetchCodec(r.Header.Get("Accept"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	sums, err := s.reg.Get(ds, []int{instance})
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	data, err := json.Marshal(sums[0])
+	data, err := codec.Encode(sums[0])
 	if err != nil {
 		writeError(w, fmt.Errorf("server: encoding summary: %w", err))
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	ct := codec.ContentType()
+	if codec.Version() == 1 {
+		ct = jsonContentType
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set("X-Summary-Wire-Version", strconv.Itoa(codec.Version()))
 	_, _ = w.Write(data)
 }
 

@@ -13,6 +13,9 @@ type PostResult struct {
 	Size int `json:"size"`
 	// Pairs is the number of raw pairs consumed; only set by ingest.
 	Pairs int64 `json:"pairs,omitempty"`
+	// Wire is the wire-format version the posted summary was decoded
+	// from (1 = JSON, 2 = binary); only set by summary posts.
+	Wire int `json:"wire,omitempty"`
 }
 
 // MultiPostResult acknowledges a one-pass multi-instance ingest: one scan
@@ -32,9 +35,12 @@ type MultiPostResult struct {
 
 // HealthResult answers GET /healthz: liveness plus the number of
 // registered datasets, for load-balancer probes and quick capacity reads.
+// WireVersions lists the summary wire-format versions the server speaks,
+// so operators (and clients) can probe codec support before posting.
 type HealthResult struct {
-	Status   string `json:"status"`
-	Datasets int    `json:"datasets"`
+	Status       string `json:"status"`
+	Datasets     int    `json:"datasets"`
+	WireVersions []int  `json:"wire_versions"`
 }
 
 // DatasetInfo describes one registered dataset.
@@ -88,7 +94,11 @@ type SumResult struct {
 	Sum      float64 `json:"sum"`
 }
 
-// ErrorResult is the body of every non-2xx response.
+// ErrorResult is the body of every non-2xx response. On wire-format
+// negotiation failures (HTTP 415/406) Supported lists the summary wire
+// versions the server does speak, so a client can downgrade instead of
+// guessing.
 type ErrorResult struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	Supported []int  `json:"supported_versions,omitempty"`
 }

@@ -1,23 +1,32 @@
 // Package client is a thin Go client for the summary server (summaryd).
 //
-// It speaks the v1 HTTP API: post summaries in the core JSON wire format,
-// ingest raw CSV/ndjson pair streams (summarized server-side), and run
-// distinct / max-dominance / quantile / sum queries over any stored
-// subset. Response types live in pkg/api and are shared with
-// internal/server, so client and server cannot drift.
+// It speaks the v1 HTTP API: post summaries in either summary wire format
+// (v1 JSON by default; opt into the compact v2 binary format with
+// WithWireVersion(2)), ingest raw CSV/ndjson pair streams (summarized
+// server-side), and run distinct / max-dominance / quantile / sum queries
+// over any stored subset. Response types live in pkg/api and are shared
+// with internal/server, so client and server cannot drift.
+//
+// Version negotiation is transparent: a v2-configured client that meets a
+// server without v2 support falls back to v1 on the first rejected post
+// and stays on v1 for the rest of its life — new clients work against old
+// servers with one extra round trip, total.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/pkg/api"
 )
 
@@ -25,38 +34,81 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+	// wire is the preferred summary wire version for posts and fetches
+	// (0 or 1 = v1 JSON).
+	wire int
+	// fellBack flips to true the first time the server rejects the
+	// preferred version; every later exchange goes straight to v1.
+	fellBack atomic.Bool
+}
+
+// Option configures a Client at construction.
+type Option func(*Client)
+
+// WithWireVersion selects the summary wire format the client prefers when
+// posting and fetching summaries: 1 (the default) is the JSON format, 2
+// the compact binary format. The version must be registered in this
+// build (core.SupportedWireVersions); unknown versions panic, like an
+// invalid engine config — a construction-time misconfiguration. Servers
+// that do not speak the preferred version are handled transparently: see
+// the package comment on fallback.
+func WithWireVersion(v int) Option {
+	if _, err := core.CodecByVersion(v); err != nil {
+		panic(err)
+	}
+	return func(c *Client) { c.wire = v }
 }
 
 // New returns a client for the server at base (e.g. "http://127.0.0.1:8080").
 // A nil http.Client uses http.DefaultClient.
-func New(base string, hc *http.Client) *Client {
+func New(base string, hc *http.Client, opts ...Option) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	c := &Client{base: strings.TrimRight(base, "/"), hc: hc, wire: 1}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// WireVersion reports the wire version the client currently uses for
+// summary posts: the configured preference, or 1 after a fallback.
+func (c *Client) WireVersion() int {
+	if c.wire <= 1 || c.fellBack.Load() {
+		return 1
+	}
+	return c.wire
 }
 
 // BaseURL returns the server URL the client was built with.
 func (c *Client) BaseURL() string { return c.base }
 
+// StatusError is the error the client returns for a non-2xx response. It
+// carries the HTTP status code and, on wire-format negotiation failures,
+// the versions the server advertised — what the transparent fallback (and
+// any caller-side negotiation) dispatches on.
+type StatusError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error text (or the raw body when the server
+	// sent no structured error).
+	Message string
+	// Supported lists the wire versions the server speaks, when it said.
+	Supported []int
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: %s (HTTP %d)", e.Message, e.Status)
+}
+
 // do issues a request and decodes the JSON response into out, mapping
-// non-2xx responses to errors carrying the server's message.
+// non-2xx responses to *StatusError carrying the server's message.
 func (c *Client) do(req *http.Request, out any) error {
-	resp, err := c.hc.Do(req)
+	body, _, err := c.doRaw(req)
 	if err != nil {
 		return err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return fmt.Errorf("client: reading response: %w", err)
-	}
-	if resp.StatusCode/100 != 2 {
-		var e api.ErrorResult
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return fmt.Errorf("client: %s (HTTP %d)", e.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("client: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	}
 	if out == nil {
 		return nil
@@ -65,6 +117,29 @@ func (c *Client) do(req *http.Request, out any) error {
 		return fmt.Errorf("client: decoding response: %w", err)
 	}
 	return nil
+}
+
+// doRaw issues a request and returns the raw 2xx body and its content
+// type, mapping non-2xx responses to *StatusError.
+func (c *Client) doRaw(req *http.Request) (body []byte, contentType string, err error) {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		se := &StatusError{Status: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+		var e api.ErrorResult
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			se.Message, se.Supported = e.Error, e.Supported
+		}
+		return nil, "", se
+	}
+	return body, resp.Header.Get("Content-Type"), nil
 }
 
 func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
@@ -76,6 +151,10 @@ func (c *Client) get(ctx context.Context, path string, q url.Values, out any) er
 	if err != nil {
 		return err
 	}
+	// Every structured endpoint answers JSON; saying so keeps a server
+	// running a non-JSON default wire format (-wire 2) from ever sending
+	// binary where a JSON result type is expected.
+	req.Header.Set("Accept", "application/json")
 	return c.do(req, out)
 }
 
@@ -109,34 +188,131 @@ func (c *Client) Datasets(ctx context.Context) ([]api.DatasetInfo, error) {
 
 // PostSummary stores a summary under the named dataset. The summary is any
 // core summary value (*core.PPSSummary, *core.SetSummary,
-// *core.BottomKSummary) or pre-encoded wire JSON as []byte /
-// json.RawMessage.
+// *core.BottomKSummary) or pre-encoded wire bytes ([]byte /
+// json.RawMessage, either wire format — the content type is sniffed).
+//
+// A client configured with WithWireVersion(2) encodes core summary values
+// in the binary format. When the server rejects it as unsupported — 415
+// from a negotiating server, 400 from a pre-negotiation server that
+// failed to parse binary as JSON — the post is retried once as v1 JSON,
+// and a successful retry pins the client to v1 so later posts skip the
+// doomed attempt.
 func (c *Client) PostSummary(ctx context.Context, dataset string, summary any) (api.PostResult, error) {
-	var body []byte
-	switch v := summary.(type) {
-	case []byte:
-		body = v
-	case json.RawMessage:
-		body = v
-	default:
-		var err error
-		if body, err = json.Marshal(summary); err != nil {
-			return api.PostResult{}, fmt.Errorf("client: encoding summary: %w", err)
-		}
-	}
 	q := url.Values{"dataset": {dataset}}
 	var out api.PostResult
-	err := c.post(ctx, "/v1/summaries", q, "application/json", bytes.NewReader(body), &out)
+
+	// Pre-encoded bytes pass through untranscoded.
+	if raw, ok := rawWire(summary); ok {
+		err := c.post(ctx, "/v1/summaries", q, sniffContentType(raw), bytes.NewReader(raw), &out)
+		return out, err
+	}
+
+	var triedPreferred bool
+	if v := c.WireVersion(); v > 1 {
+		if sum, ok := summary.(core.Summary); ok {
+			codec, err := core.CodecByVersion(v)
+			if err != nil {
+				return out, err
+			}
+			body, err := codec.Encode(sum)
+			if err != nil {
+				return out, fmt.Errorf("client: encoding summary: %w", err)
+			}
+			err = c.post(ctx, "/v1/summaries", q, codec.ContentType(), bytes.NewReader(body), &out)
+			if err == nil || !wireUnsupported(err) {
+				return out, err
+			}
+			triedPreferred = true // fall through to a one-time v1 retry
+		}
+	}
+
+	body, err := json.Marshal(summary)
+	if err != nil {
+		return out, fmt.Errorf("client: encoding summary: %w", err)
+	}
+	err = c.post(ctx, "/v1/summaries", q, "application/json", bytes.NewReader(body), &out)
+	if triedPreferred && err == nil {
+		// The v1 retry succeeded where the preferred version was refused:
+		// the rejection really was about the format (not, say, a bad
+		// dataset), so pin v1 and skip the doomed attempt from now on.
+		c.fellBack.Store(true)
+	}
 	return out, err
 }
 
-// FetchSummary retrieves one stored summary in wire form; decode it with
-// core.DecodeSummary.
+// rawWire extracts pre-encoded wire bytes from a PostSummary argument.
+func rawWire(summary any) ([]byte, bool) {
+	switch v := summary.(type) {
+	case []byte:
+		return v, true
+	case json.RawMessage:
+		return v, true
+	}
+	return nil, false
+}
+
+// sniffContentType types pre-encoded wire bytes by their leading bytes:
+// the binary magic marks a binary payload — named by its version even
+// when this build does not register it, so the server answers the
+// contractual 415 with supported_versions instead of a confusing
+// parse-binary-as-JSON 400 — and anything else is JSON.
+func sniffContentType(raw []byte) string {
+	if v, ok := core.SniffWireVersion(raw); ok && v != 1 {
+		return fmt.Sprintf("application/x-summary-v%d", v)
+	}
+	return "application/json"
+}
+
+// wireUnsupported reports whether an error says the server cannot parse
+// the posted wire format: 415 from a version-negotiating server, or a
+// 400 decode failure from a pre-negotiation server that tried to parse
+// binary as JSON. Other 400s (oversized body, missing parameters) would
+// fail a v1 retry identically, so they don't trigger the fallback — the
+// real error surfaces instead of being masked by a doomed re-upload.
+func wireUnsupported(err error) bool {
+	var se *StatusError
+	if !errors.As(err, &se) {
+		return false
+	}
+	if se.Status == http.StatusUnsupportedMediaType {
+		return true
+	}
+	return se.Status == http.StatusBadRequest && strings.Contains(se.Message, "decoding")
+}
+
+// FetchSummary retrieves one stored summary in v1 JSON wire form; decode
+// it with core.DecodeSummary. FetchDecodedSummary negotiates the
+// configured wire version and decodes in one step.
 func (c *Client) FetchSummary(ctx context.Context, dataset string, instance int) (json.RawMessage, error) {
 	q := url.Values{"dataset": {dataset}, "instance": {strconv.Itoa(instance)}}
 	var out json.RawMessage
 	err := c.get(ctx, "/v1/summaries", q, &out)
 	return out, err
+}
+
+// FetchDecodedSummary retrieves one stored summary and decodes it,
+// negotiating the wire format through Accept: the client's preferred
+// version first with JSON as the universal fallback, so old servers —
+// which ignore Accept and answer JSON — work without a second round trip.
+func (c *Client) FetchDecodedSummary(ctx context.Context, dataset string, instance int) (core.Summary, error) {
+	q := url.Values{"dataset": {dataset}, "instance": {strconv.Itoa(instance)}}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/summaries?"+q.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	accept := "application/json"
+	if v := c.WireVersion(); v > 1 {
+		if codec, err := core.CodecByVersion(v); err == nil {
+			accept = codec.ContentType() + ", application/json;q=0.5"
+		}
+	}
+	req.Header.Set("Accept", accept)
+	body, _, err := c.doRaw(req)
+	if err != nil {
+		return nil, err
+	}
+	return core.DecodeSummary(body)
 }
 
 // IngestOptions parameterizes a raw-stream ingest. Exactly the fields of
