@@ -13,6 +13,8 @@
 //	summaryd -shards 4 -batch 512   # sharded parallel ingest summarization
 //	summaryd -shards 4 -async -queue 16   # async ingest: bounded queues
 //	summaryd -wire 2                # binary default for summary fetch-backs
+//	summaryd -data-dir /var/lib/summaryd  # durable registry (WAL + snapshots)
+//	summaryd -data-dir d -fsync -snapshot-every 1000  # power-loss durable
 //
 // -shards selects the ingest summarization strategy: 1 (the default) runs
 // the sequential pipeline, n>1 fans out across n hash-partitioned
@@ -31,6 +33,19 @@
 // Content-Type regardless of this flag, and an explicit Accept always
 // wins — the flag only moves the no-preference default. Unregistered
 // versions are rejected with exit 2.
+//
+// -data-dir makes the registry durable: every accepted summary and
+// ingest result is appended to a write-ahead log in that directory
+// before the request is acknowledged, a full snapshot is written (and
+// the WAL truncated) every -snapshot-every records, and a restart
+// replays snapshot + WAL so stored summaries survive crashes — /healthz
+// then reports the store's state under "store". -fsync additionally
+// syncs the WAL on every append (durable against power loss, at a
+// per-request fsync cost; without it a kill loses at most the page
+// cache's tail, never consistency). Without -data-dir the registry is
+// purely in-memory, as before. On SIGINT/SIGTERM the server drains
+// in-flight requests (http.Server.Shutdown), takes a final snapshot,
+// and fsyncs the store before exiting.
 package main
 
 import (
@@ -48,6 +63,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -57,6 +73,9 @@ func main() {
 	async := flag.Bool("async", false, "decouple ingest from sampling: bounded per-shard queues, stalls counted")
 	queue := flag.Int("queue", 0, "per-shard queue depth in batches (0 = default 8)")
 	wire := flag.Int("wire", 1, "default wire version for summary fetch-backs without an Accept preference (1 = JSON, 2 = binary)")
+	dataDir := flag.String("data-dir", "", "durability directory (WAL + snapshots); empty keeps the registry in-memory")
+	snapshotEvery := flag.Int64("snapshot-every", store.DefaultSnapshotEvery, "WAL records between automatic snapshots (negative disables automatic snapshots)")
+	fsync := flag.Bool("fsync", false, "fsync the WAL after every accepted summary (durable against power loss)")
 	flag.Parse()
 
 	if _, err := core.CodecByVersion(*wire); err != nil {
@@ -77,9 +96,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := server.NewRegistry()
+	opts := []server.Option{server.WithDefaultWire(*wire)}
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir, store.Options{SnapshotEvery: *snapshotEvery, Fsync: *fsync}, reg.Put)
+		if err != nil {
+			log.Fatalf("summaryd: opening store: %v", err)
+		}
+		// Attach only after Open has replayed: replay goes through reg.Put
+		// too, and must not re-append what the log already holds.
+		reg.SetPersister(st)
+		opts = append(opts, server.WithStoreStatus(st.Status))
+		status := st.Status()
+		log.Printf("summaryd: recovered %d summaries in %d datasets from %s (snapshot entries=%d, wal records=%d, fsync=%v)",
+			status.RecoveredSummaries, status.RecoveredDatasets, *dataDir,
+			status.SnapshotEntries, status.WALRecords, *fsync)
+	}
+
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: server.New(server.NewRegistry(), cfg, server.WithDefaultWire(*wire)),
+		Handler: server.New(reg, cfg, opts...),
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -99,6 +137,18 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("summaryd: shutdown: %v", err)
+		}
+		if st != nil {
+			// Requests are drained; park the registry in a snapshot so the
+			// next boot replays one file instead of the whole log, then
+			// flush and fsync the WAL on the way out. Registry.Snapshot
+			// (not st.Snapshot) keeps the registry→store lock order.
+			if err := reg.Snapshot(); err != nil {
+				log.Printf("summaryd: final snapshot: %v (WAL still holds everything)", err)
+			}
+			if err := st.Close(); err != nil {
+				log.Fatalf("summaryd: closing store: %v", err)
+			}
 		}
 	}
 }

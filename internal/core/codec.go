@@ -34,6 +34,14 @@ type Codec interface {
 	// Encode serializes a summary. The encoding is deterministic: equal
 	// summaries produce equal bytes.
 	Encode(Summary) ([]byte, error)
+	// EncodeTo streams the serialization into w: exactly the bytes Encode
+	// would return, but written incrementally. Implementations with a
+	// streaming layout (v2) write entry by entry and never materialize
+	// the payload; the v1 JSON codec necessarily buffers (encoding/json
+	// cannot emit a document incrementally) but still writes through w so
+	// every caller — the WAL, snapshots, HTTP response bodies — uses one
+	// code path.
+	EncodeTo(io.Writer, Summary) error
 	// DecodeFrom reconstructs a summary from a stream. Implementations
 	// with a streaming layout (v2) read entry by entry and never buffer
 	// the whole payload; the v1 JSON codec necessarily buffers (a JSON
@@ -215,6 +223,18 @@ func (jsonCodec) ContentType() string { return ContentTypeJSON }
 // encoding/json sorts map keys.
 func (jsonCodec) Encode(s Summary) ([]byte, error) {
 	return json.Marshal(s)
+}
+
+// EncodeTo implements Codec. JSON cannot be emitted incrementally
+// (json.Encoder would also append a newline Encode never produces), so
+// this marshals and writes — byte-identical to Encode, just through w.
+func (c jsonCodec) EncodeTo(w io.Writer, s Summary) error {
+	data, err := c.Encode(s)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
 }
 
 // DecodeFrom implements Codec.

@@ -347,3 +347,60 @@ func (r *chunkReader) Read(p []byte) (int, error) {
 	r.data = r.data[n:]
 	return n, nil
 }
+
+// TestEncodeToMatchesEncode: the streaming encoder contract — for every
+// codec and every summary kind, EncodeTo writes exactly the bytes Encode
+// returns, regardless of the destination writer's type (buffered or not).
+func TestEncodeToMatchesEncode(t *testing.T) {
+	for _, version := range SupportedWireVersions() {
+		codec, err := CodecByVersion(version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sum := range fixtureSummaries(NewSummarizer(99)) {
+			want, err := codec.Encode(sum)
+			if err != nil {
+				t.Fatalf("v%d Encode(%s): %v", version, sum.Kind(), err)
+			}
+			// A plain buffer (the writer EncodeTo special-cases) and an
+			// opaque writer (forced through the bufio wrap path).
+			var direct bytes.Buffer
+			if err := codec.EncodeTo(&direct, sum); err != nil {
+				t.Fatalf("v%d EncodeTo(buffer, %s): %v", version, sum.Kind(), err)
+			}
+			var opaque bytes.Buffer
+			if err := codec.EncodeTo(onlyWriter{&opaque}, sum); err != nil {
+				t.Fatalf("v%d EncodeTo(opaque, %s): %v", version, sum.Kind(), err)
+			}
+			if !bytes.Equal(direct.Bytes(), want) || !bytes.Equal(opaque.Bytes(), want) {
+				t.Fatalf("v%d EncodeTo(%s) diverges from Encode (%d/%d vs %d bytes)",
+					version, sum.Kind(), direct.Len(), opaque.Len(), len(want))
+			}
+		}
+	}
+}
+
+// onlyWriter hides every method but Write, so EncodeTo cannot type-switch
+// its way around the generic path.
+type onlyWriter struct{ w io.Writer }
+
+func (o onlyWriter) Write(p []byte) (int, error) { return o.w.Write(p) }
+
+// TestEncodeToPropagatesWriteErrors: a failing destination surfaces the
+// error instead of silently truncating.
+func TestEncodeToPropagatesWriteErrors(t *testing.T) {
+	sum := fixtureSummaries(NewSummarizer(99))[0]
+	for _, version := range SupportedWireVersions() {
+		codec, err := CodecByVersion(version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := codec.EncodeTo(failingWriter{}, sum); err == nil {
+			t.Fatalf("v%d EncodeTo to a failing writer returned nil", version)
+		}
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }

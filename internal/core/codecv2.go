@@ -83,28 +83,45 @@ func (binaryCodecV2) Version() int { return 2 }
 func (binaryCodecV2) ContentType() string { return ContentTypeV2 }
 
 // Encode implements Codec.
-func (binaryCodecV2) Encode(s Summary) ([]byte, error) {
+func (c binaryCodecV2) Encode(s Summary) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(64 + 16*s.Size())
+	if err := encodeSummaryV2(&buf, s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeTo implements Codec. The v2 layout streams: entries are written
+// one at a time, so a giant summary flows through a bounded buffer
+// instead of materializing a second copy of itself. Writers without
+// their own buffering are wrapped in one (the writer issues many small
+// field-sized writes).
+func (binaryCodecV2) EncodeTo(w io.Writer, s Summary) error {
+	switch w.(type) {
+	case *bytes.Buffer, *bufio.Writer:
+		return encodeSummaryV2(w, s)
+	}
+	bw := bufio.NewWriterSize(w, 32<<10)
+	if err := encodeSummaryV2(bw, s); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// encodeSummaryV2 writes one summary in the v2 layout.
+func encodeSummaryV2(dst io.Writer, s Summary) error {
+	w := &v2Writer{w: dst}
 	switch t := s.(type) {
 	case *PPSSummary:
-		var buf bytes.Buffer
-		buf.Grow(64 + 16*len(t.Sample.Values))
-		w := v2Writer{&buf}
 		w.header(v2KindPPS, t.parent.seeder, t.Instance)
 		w.float64(t.Tau)
 		w.weightedEntries(t.Sample.Values)
-		return buf.Bytes(), nil
 	case *SetSummary:
-		var buf bytes.Buffer
-		buf.Grow(64 + 8*len(t.Members))
-		w := v2Writer{&buf}
 		w.header(v2KindSet, t.parent.seeder, t.Instance)
 		w.float64(t.P)
 		w.memberEntries(t.Members)
-		return buf.Bytes(), nil
 	case *BottomKSummary:
-		var buf bytes.Buffer
-		buf.Grow(64 + 16*len(t.Sample.Values))
-		w := v2Writer{&buf}
 		w.header(v2KindBottomK, t.parent.seeder, t.Instance)
 		switch t.Sample.Family.(type) {
 		case sampling.PPS:
@@ -112,14 +129,14 @@ func (binaryCodecV2) Encode(s Summary) ([]byte, error) {
 		case sampling.EXP:
 			w.byte(v2FamilyEXP)
 		default:
-			return nil, fmt.Errorf("core: v2 encoding of unknown rank family %q", t.Sample.Family.Name())
+			return fmt.Errorf("core: v2 encoding of unknown rank family %q", t.Sample.Family.Name())
 		}
 		w.float64(t.Sample.Tau)
 		w.weightedEntries(t.Sample.Values)
-		return buf.Bytes(), nil
 	default:
-		return nil, fmt.Errorf("core: v2 encoding of unknown summary kind %q", s.Kind())
+		return fmt.Errorf("core: v2 encoding of unknown summary kind %q", s.Kind())
 	}
+	return w.err
 }
 
 // DecodeFrom implements Codec. Decoding is streaming: entries are read one
@@ -132,33 +149,41 @@ func (binaryCodecV2) DecodeFrom(r io.Reader) (Summary, error) {
 	return decodeSummaryV2(br)
 }
 
-// v2Writer serializes the layout above into a buffer. bytes.Buffer writes
-// cannot fail, so the writer methods have no error paths.
+// v2Writer serializes the layout above into any io.Writer with a sticky
+// error: after the first write failure every later method is a no-op, so
+// the encoding functions check err once at the end.
 type v2Writer struct {
-	buf *bytes.Buffer
+	w   io.Writer
+	err error
 }
 
-func (w v2Writer) byte(b byte) { w.buf.WriteByte(b) }
+func (w *v2Writer) write(b []byte) {
+	if w.err == nil {
+		_, w.err = w.w.Write(b)
+	}
+}
 
-func (w v2Writer) uint64(v uint64) {
+func (w *v2Writer) byte(b byte) { w.write([]byte{b}) }
+
+func (w *v2Writer) uint64(v uint64) {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)
-	w.buf.Write(b[:])
+	w.write(b[:])
 }
 
-func (w v2Writer) float64(v float64) { w.uint64(math.Float64bits(v)) }
+func (w *v2Writer) float64(v float64) { w.uint64(math.Float64bits(v)) }
 
-func (w v2Writer) uvarint(v uint64) {
+func (w *v2Writer) uvarint(v uint64) {
 	var b [binary.MaxVarintLen64]byte
-	w.buf.Write(b[:binary.PutUvarint(b[:], v)])
+	w.write(b[:binary.PutUvarint(b[:], v)])
 }
 
-func (w v2Writer) varint(v int64) {
+func (w *v2Writer) varint(v int64) {
 	var b [binary.MaxVarintLen64]byte
-	w.buf.Write(b[:binary.PutVarint(b[:], v)])
+	w.write(b[:binary.PutVarint(b[:], v)])
 }
 
-func (w v2Writer) header(kind byte, seeder xhash.Seeder, instance int) {
+func (w *v2Writer) header(kind byte, seeder xhash.Seeder, instance int) {
 	w.byte(v2Magic0)
 	w.byte(v2Magic1)
 	w.byte(2)
@@ -182,7 +207,7 @@ func sortedKeys[V any](m map[dataset.Key]V) []dataset.Key {
 	return keys
 }
 
-func (w v2Writer) weightedEntries(values map[dataset.Key]float64) {
+func (w *v2Writer) weightedEntries(values map[dataset.Key]float64) {
 	w.uvarint(uint64(len(values)))
 	for _, h := range sortedKeys(values) {
 		w.uint64(uint64(h))
@@ -190,7 +215,7 @@ func (w v2Writer) weightedEntries(values map[dataset.Key]float64) {
 	}
 }
 
-func (w v2Writer) memberEntries(members map[dataset.Key]bool) {
+func (w *v2Writer) memberEntries(members map[dataset.Key]bool) {
 	w.uvarint(uint64(len(members)))
 	for _, h := range sortedKeys(members) {
 		w.uint64(uint64(h))

@@ -101,11 +101,11 @@ func decodePPSWire(w ppsWire) (*PPSSummary, error) {
 }
 
 // MarshalJSON encodes the set summary with its randomization salt.
+// Members are sorted ascending: the codec contract promises deterministic
+// bytes, and a slice drawn from map iteration would break it (encoding/
+// json sorts map keys for the other kinds, but Members is an array).
 func (s *SetSummary) MarshalJSON() ([]byte, error) {
-	members := make([]dataset.Key, 0, len(s.Members))
-	for h := range s.Members {
-		members = append(members, h)
-	}
+	members := sortedKeys(s.Members)
 	return json.Marshal(setWire{
 		Version:  WireVersion,
 		Kind:     "set",

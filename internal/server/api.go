@@ -15,6 +15,9 @@ type MultiPostResult = api.MultiPostResult
 // HealthResult = api.HealthResult.
 type HealthResult = api.HealthResult
 
+// StoreStatus = api.StoreStatus.
+type StoreStatus = api.StoreStatus
+
 // DatasetInfo = api.DatasetInfo.
 type DatasetInfo = api.DatasetInfo
 

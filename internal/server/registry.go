@@ -43,8 +43,30 @@ var (
 // entries (last write per (dataset, instance) wins) and queries only read,
 // so readers never observe partial state.
 type Registry struct {
-	mu       sync.RWMutex
-	datasets map[string]*datasetEntry
+	mu        sync.RWMutex
+	datasets  map[string]*datasetEntry
+	persister Persister
+}
+
+// Persister hooks registry mutations to durable storage (internal/store
+// implements it). Put calls Append under the registry's write lock for
+// every accepted summary, so the log's record order is exactly the order
+// registrations took effect; when Append reports a snapshot is due, Put
+// immediately passes the persister a dump of the registry taken under
+// that same lock — a consistent cut containing precisely the appended
+// records.
+type Persister interface {
+	// Append durably records one accepted registration. An error fails
+	// (and rolls back) the registration: the registry never acknowledges
+	// state the log did not accept.
+	Append(dataset string, s core.Summary) (snapshotDue bool, err error)
+	// Snapshot durably writes the full image dump yields and supersedes
+	// the log written so far. Callers other than the registry must route
+	// through Registry.Snapshot: it establishes the one legal lock order
+	// (registry lock, then the persister's own). Calling the persister
+	// directly with Registry.Dump as the source inverts that order
+	// against a concurrent Put and can deadlock.
+	Snapshot(dump func(emit func(dataset string, s core.Summary) error) error) error
 }
 
 type datasetEntry struct {
@@ -58,6 +80,16 @@ func NewRegistry() *Registry {
 	return &Registry{datasets: make(map[string]*datasetEntry)}
 }
 
+// SetPersister attaches durable storage to the registry: every later
+// successful Put appends to it. Attach after recovery has replayed the
+// store's existing state through Put — replay with a persister attached
+// would re-append every record it reads.
+func (r *Registry) SetPersister(p Persister) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.persister = p
+}
+
 // Put registers a summary under the named dataset, creating the dataset on
 // first use. It returns ErrIncompatible (wrapped with the specific
 // mismatch) when the summary's salt, coordination mode, or kind differ
@@ -69,7 +101,8 @@ func (r *Registry) Put(dataset string, s core.Summary) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.datasets[dataset]
-	if !ok {
+	created := !ok
+	if created {
 		e = &datasetEntry{
 			kind:       s.Kind(),
 			seeder:     core.SummarySeeder(s),
@@ -85,7 +118,82 @@ func (r *Registry) Put(dataset string, s core.Summary) error {
 		return fmt.Errorf("%w: dataset %q uses salt %d (shared=%v), got salt %d (shared=%v)",
 			ErrIncompatible, dataset, e.seeder.Salt, e.seeder.Shared, sd.Salt, sd.Shared)
 	}
-	e.byInstance[s.InstanceID()] = s
+	id := s.InstanceID()
+	prev, hadPrev := e.byInstance[id]
+	e.byInstance[id] = s
+	if r.persister != nil {
+		due, err := r.persister.Append(dataset, s)
+		if err != nil {
+			// Roll back: the registry must never answer queries from state
+			// the log refused — a restart would silently forget it.
+			if hadPrev {
+				e.byInstance[id] = prev
+			} else {
+				delete(e.byInstance, id)
+				if created {
+					delete(r.datasets, dataset)
+				}
+			}
+			return fmt.Errorf("server: persisting summary for dataset %q: %w", dataset, err)
+		}
+		if due {
+			// Snapshot under the lock already held: the dump is a consistent
+			// cut matching the WAL position exactly. A snapshot failure is
+			// deliberately not a Put failure — the record above IS durable in
+			// the WAL; the store surfaces the error in its status and backs
+			// off a full interval before the next automatic attempt.
+			_ = r.persister.Snapshot(r.dumpLocked)
+		}
+	}
+	return nil
+}
+
+// Snapshot writes the registry's full image through the attached
+// persister (a no-op without one). It is the one safe entry point for
+// explicit snapshots — summaryd's shutdown path, a future admin trigger
+// — because it takes the registry lock BEFORE the persister's, the same
+// order Put establishes; calling the persister directly with Dump as
+// the source would take the locks in the opposite order and deadlock
+// against a concurrent Put.
+func (r *Registry) Snapshot() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.persister == nil {
+		return nil
+	}
+	return r.persister.Snapshot(r.dumpLocked)
+}
+
+// Dump iterates every stored (dataset, summary) in deterministic order —
+// datasets by name, instances ascending — under the read lock. For
+// snapshotting a persister-backed registry use Snapshot, not Dump (see
+// the lock-order note there).
+func (r *Registry) Dump(emit func(dataset string, s core.Summary) error) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.dumpLocked(emit)
+}
+
+// dumpLocked is Dump without locking, for callers already holding mu.
+func (r *Registry) dumpLocked(emit func(dataset string, s core.Summary) error) error {
+	names := make([]string, 0, len(r.datasets))
+	for name := range r.datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := r.datasets[name]
+		ids := make([]int, 0, len(e.byInstance))
+		for id := range e.byInstance {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			if err := emit(name, e.byInstance[id]); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 

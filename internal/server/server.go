@@ -37,6 +37,7 @@ type Server struct {
 	cfg         engine.Config
 	mux         *http.ServeMux
 	defaultWire core.Codec
+	storeStatus func() StoreStatus
 }
 
 // Option configures a Server at construction.
@@ -54,6 +55,14 @@ func WithDefaultWire(version int) Option {
 		panic(err)
 	}
 	return func(s *Server) { s.defaultWire = c }
+}
+
+// WithStoreStatus adds durability reporting to /healthz: status is
+// polled per probe and returned under the "store" key. summaryd passes
+// the store's Status method when running with -data-dir; servers without
+// durable storage omit the option and the key.
+func WithStoreStatus(status func() StoreStatus) Option {
+	return func(s *Server) { s.storeStatus = status }
 }
 
 // New builds a server around a registry. The engine config selects the
@@ -74,12 +83,18 @@ func New(reg *Registry, cfg engine.Config, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Status plus dataset count: load balancers probe liveness, and
 		// operators get a one-number capacity read plus the codec
-		// vocabulary for free.
-		writeJSON(w, http.StatusOK, HealthResult{
+		// vocabulary for free. A durable server additionally reports its
+		// store: WAL extent, last snapshot, what recovery replayed.
+		hr := HealthResult{
 			Status:       "ok",
 			Datasets:     s.reg.Count(),
 			WireVersions: core.SupportedWireVersions(),
-		})
+		}
+		if s.storeStatus != nil {
+			st := s.storeStatus()
+			hr.Store = &st
+		}
+		writeJSON(w, http.StatusOK, hr)
 	})
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /v1/summaries", s.handleFetchSummary)
@@ -248,18 +263,30 @@ func (s *Server) handleFetchSummary(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	data, err := codec.Encode(sums[0])
-	if err != nil {
-		writeError(w, fmt.Errorf("server: encoding summary: %w", err))
+	if codec.Version() == 1 {
+		// The JSON codec buffers regardless (encoding/json cannot stream),
+		// so encode before committing to a status: a failure — NaN weights
+		// in a stored summary, which JSON has no representation for — is a
+		// clean error response, not a 200 with an empty body.
+		data, err := codec.Encode(sums[0])
+		if err != nil {
+			writeError(w, fmt.Errorf("server: encoding summary: %w", err))
+			return
+		}
+		w.Header().Set("Content-Type", jsonContentType)
+		w.Header().Set("X-Summary-Wire-Version", "1")
+		_, _ = w.Write(data)
 		return
 	}
-	ct := codec.ContentType()
-	if codec.Version() == 1 {
-		ct = jsonContentType
-	}
-	w.Header().Set("Content-Type", ct)
+	w.Header().Set("Content-Type", codec.ContentType())
 	w.Header().Set("X-Summary-Wire-Version", strconv.Itoa(codec.Version()))
-	_, _ = w.Write(data)
+	// Stream the body through the codec: a million-entry summary flows
+	// entry by entry instead of materializing a second copy server-side.
+	// Headers are already out, but v2 encoding of a registry-held summary
+	// (kind always known, any float bits representable) only fails when
+	// the client vanishes mid-stream — and a truncated body failing the
+	// client's decode is the right signal for that.
+	_ = codec.EncodeTo(w, sums[0])
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,103 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// benchSummaries builds summaries totalling about `entries` retained keys
+// across `count` PPS summaries (one dataset, rotating instances).
+func benchSummaries(count, entries int) []core.Summary {
+	summ := core.NewSummarizer(2011)
+	per := entries / count
+	out := make([]core.Summary, count)
+	key := uint64(1)
+	for i := range out {
+		in := make(dataset.Instance, per)
+		for j := 0; j < per; j++ {
+			in[dataset.Key(key*0x9E3779B97F4A7C15)] = float64(1 + key%997)
+			key++
+		}
+		// tau below every value: all keys retained, so the summary size is
+		// exactly per.
+		out[i] = summ.SummarizePPS(i, in, 0.5)
+	}
+	return out
+}
+
+// BenchmarkWALAppend measures the durable hot path: one framed,
+// checksummed, v2-encoded record per accepted summary (1000 retained
+// keys each), no fsync — the configuration a throughput-focused
+// deployment runs.
+func BenchmarkWALAppend(b *testing.B) {
+	sums := benchSummaries(8, 8*1000)
+	st, err := Open(b.TempDir(), Options{SnapshotEvery: -1}, func(string, core.Summary) error { return nil })
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Append("bench", sums[i%len(sums)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	status := st.Status()
+	b.ReportMetric(float64(status.WALBytes)/float64(status.WALRecords), "wal-bytes/record")
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkSnapshotRecover measures crash recovery over a 1M-entry
+// registry: the snapshot is written once, then each iteration replays it
+// cold through Open. The recover-s metric is the boot-time cost an
+// operator actually waits on.
+func BenchmarkSnapshotRecover(b *testing.B) {
+	const totalEntries = 1_000_000
+	sums := benchSummaries(100, totalEntries)
+	dir := b.TempDir()
+	st, err := Open(dir, Options{SnapshotEvery: -1}, func(string, core.Summary) error { return nil })
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Snapshot(func(emit func(string, core.Summary) error) error {
+		for i, s := range sums {
+			if err := emit(fmt.Sprintf("bench%d", i%10), s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	st.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var recovered int64
+	var recoverTime time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		recovered = 0
+		st, err := Open(dir, Options{}, func(_ string, s core.Summary) error {
+			recovered += int64(s.Size())
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.Close()
+		recoverTime += time.Since(start)
+	}
+	b.StopTimer()
+	if recovered != totalEntries {
+		b.Fatalf("recovered %d entries, want %d", recovered, totalEntries)
+	}
+	b.ReportMetric(recoverTime.Seconds()/float64(b.N), "recover-s")
+	b.ReportMetric(float64(totalEntries)*float64(b.N)/recoverTime.Seconds(), "entries/s")
+}

@@ -1,0 +1,137 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// TestCrashRecoveryProperty is the subsystem's central contract: for
+// random interleavings of posts and ingest results (modeled as registry
+// Puts — both HTTP paths reduce to Put), recovery from (snapshot + WAL)
+// is bit-for-bit the in-memory registry, and recovery after truncating
+// the WAL at an ARBITRARY byte offset is bit-for-bit the registry built
+// from the longest valid record prefix.
+//
+// The expected state is computed from a test-side shadow model — never
+// from the store's own reader — so the check cannot be circular: the
+// shadow tracks each record's end offset as reported by Status, and a
+// truncation at X is expected to keep exactly the records that end at or
+// before X.
+func TestCrashRecoveryProperty(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		dir := t.TempDir()
+		reg, st := reopen(t, dir, Options{SnapshotEvery: 5})
+
+		type walRec struct {
+			end int64 // absolute file offset where the record ends
+			ds  string
+			sum core.Summary
+		}
+		full := make(shadow) // the in-memory registry, modeled
+		var snapState shadow // shadow at the last snapshot (nil = none)
+		var walLog []walRec  // records currently in the WAL, in order
+
+		ops := 15 + rng.Intn(25)
+		for i := 0; i < ops; i++ {
+			spec := specs[rng.Intn(len(specs))]
+			sum := randomSummary(rng, spec)
+			if err := reg.Put(spec.name, sum); err != nil {
+				t.Fatalf("trial %d op %d: put: %v", trial, i, err)
+			}
+			full.put(spec.name, sum)
+			status := st.Status()
+			if status.WALRecords == 0 {
+				// The put tripped an automatic snapshot: the full state —
+				// including this record — moved into the snapshot and the
+				// WAL restarted.
+				snapState = full.clone()
+				walLog = nil
+			} else {
+				walLog = append(walLog, walRec{
+					end: magicLen + status.WALBytes,
+					ds:  spec.name,
+					sum: sum,
+				})
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("trial %d: close: %v", trial, err)
+		}
+
+		// The full log replays to the full state.
+		reg2, st2 := reopen(t, dir, Options{})
+		mustMatch(t, "full replay", image(t, reg2.Dump), image(t, full.dump))
+		st2.Close()
+
+		// Truncate the WAL at arbitrary byte offsets — record boundaries,
+		// mid-header, mid-payload, inside the file magic — and check the
+		// recovered registry against the longest-valid-prefix expectation.
+		walPath := filepath.Join(dir, walName)
+		walBytes, err := os.ReadFile(walPath)
+		if err != nil {
+			t.Fatalf("trial %d: reading WAL: %v", trial, err)
+		}
+		offsets := []int64{0, 3, magicLen, int64(len(walBytes))}
+		for _, r := range walLog {
+			offsets = append(offsets, r.end, r.end-1, r.end+3)
+		}
+		for k := 0; k < 8; k++ {
+			offsets = append(offsets, int64(rng.Intn(len(walBytes)+1)))
+		}
+		for _, x := range offsets {
+			if x < 0 || x > int64(len(walBytes)) {
+				continue
+			}
+			if err := os.WriteFile(walPath, walBytes[:x], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			expected := make(shadow)
+			if snapState != nil {
+				expected = snapState.clone()
+			}
+			for _, r := range walLog {
+				if r.end <= x {
+					expected.put(r.ds, r.sum)
+				}
+			}
+			regT := server.NewRegistry()
+			stT, err := Open(dir, Options{}, regT.Put)
+			if err != nil {
+				t.Fatalf("trial %d: open after truncation at %d: %v", trial, x, err)
+			}
+			mustMatch(t, "truncation", image(t, regT.Dump), image(t, expected.dump))
+
+			// The acceptance criterion speaks of query answers: spot-check
+			// that the recovered summaries answer bit-identically too (the
+			// byte equality above already implies it; this pins the claim
+			// at the query layer).
+			if err := regT.Dump(func(ds string, s core.Summary) error {
+				var got, want float64
+				switch v := s.(type) {
+				case *core.PPSSummary:
+					got = v.SubsetSum(nil)
+					want = expected[ds][s.InstanceID()].(*core.PPSSummary).SubsetSum(nil)
+				case *core.BottomKSummary:
+					got = v.SubsetSum(nil)
+					want = expected[ds][s.InstanceID()].(*core.BottomKSummary).SubsetSum(nil)
+				default:
+					return nil
+				}
+				if got != want {
+					t.Fatalf("trial %d truncation at %d: %s/%d subset sum %v != %v",
+						trial, x, ds, s.InstanceID(), got, want)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			stT.Close()
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+)
+
+// A snapshot is the full registry image at one WAL cut: the snapshot
+// file header followed by one framed record (wal.go) per stored
+// (dataset, summary), datasets sorted by name and instances ascending so
+// equal registries snapshot to equal bytes. Snapshots are written
+// atomically — temp file in the same directory, fsync, rename — so the
+// file named "snapshot" is always a complete image: a crash at any point
+// of snapshotting leaves either the previous snapshot or the new one,
+// never a truncated hybrid. Replay is therefore strict; tolerance for
+// torn tails belongs to the WAL alone.
+
+const (
+	snapshotName = "snapshot"
+	walName      = "wal"
+	// snapshotTempPattern names in-flight snapshot temp files. Open
+	// removes strays matching it — the residue of a crash mid-snapshot.
+	snapshotTempPattern = "snapshot-*.tmp"
+)
+
+// writeSnapshotTemp streams a full image from dump into a fresh temp file
+// in dir and returns its path, fsynced and closed but NOT yet promoted to
+// the live snapshot name. Splitting the write from the promotion keeps
+// the crash window explicit (and testable): until promoteSnapshot's
+// rename, the previous snapshot is untouched.
+func writeSnapshotTemp(dir string, codec core.Codec, dump func(emit func(dataset string, s core.Summary) error) error) (path string, entries int64, err error) {
+	tmp, err := os.CreateTemp(dir, snapshotTempPattern)
+	if err != nil {
+		return "", 0, fmt.Errorf("store: creating snapshot temp file: %w", err)
+	}
+	path = tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(path)
+		}
+	}()
+	if _, err = tmp.WriteString(snapMagic); err != nil {
+		return "", 0, fmt.Errorf("store: writing snapshot header: %w", err)
+	}
+	w := newRecordWriter(tmp, codec, magicLen)
+	if err = dump(func(dataset string, s core.Summary) error {
+		if err := w.append(dataset, s); err != nil {
+			return err
+		}
+		entries++
+		return nil
+	}); err != nil {
+		return "", 0, err
+	}
+	if err = tmp.Sync(); err != nil {
+		return "", 0, fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return "", 0, fmt.Errorf("store: closing snapshot temp file: %w", err)
+	}
+	return path, entries, nil
+}
+
+// promoteSnapshot atomically replaces the live snapshot with the temp
+// file and fsyncs the directory so the rename itself is durable.
+func promoteSnapshot(dir, tmpPath string) error {
+	if err := os.Rename(tmpPath, filepath.Join(dir, snapshotName)); err != nil {
+		return fmt.Errorf("store: promoting snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory, making a just-renamed entry durable. Some
+// platforms cannot fsync directories; that is a durability reduction,
+// not an error.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
+
+// readSnapshot replays the live snapshot, if one exists, applying every
+// entry. It returns the entry count and the snapshot's modification time
+// (the zero time when no snapshot exists). Snapshot corruption is an
+// error: an atomically renamed file has no legitimate torn state.
+func readSnapshot(dir string, apply func(dataset string, s core.Summary) error) (entries int64, taken time.Time, err error) {
+	path := filepath.Join(dir, snapshotName)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, time.Time{}, nil
+	}
+	if err != nil {
+		return 0, time.Time{}, fmt.Errorf("store: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, time.Time{}, fmt.Errorf("store: snapshot stat: %w", err)
+	}
+	if err := checkMagic(f, snapMagic, "snapshot"); err != nil {
+		if info.Size() == 0 {
+			return 0, time.Time{}, fmt.Errorf("store: snapshot is empty (was it created by hand?): %w", err)
+		}
+		return 0, time.Time{}, err
+	}
+	entries, _, err = readRecords(io.LimitReader(f, info.Size()-magicLen), info.Size()-magicLen, true, apply)
+	if err != nil {
+		return entries, time.Time{}, fmt.Errorf("store: snapshot %s: %w", path, err)
+	}
+	return entries, info.ModTime(), nil
+}
+
+// removeStrayTemps deletes leftover snapshot temp files — the residue of
+// a crash between temp-file write and rename. The live snapshot is
+// untouched; the interrupted image is simply discarded.
+func removeStrayTemps(dir string) {
+	strays, err := filepath.Glob(filepath.Join(dir, snapshotTempPattern))
+	if err != nil {
+		return
+	}
+	for _, s := range strays {
+		os.Remove(s)
+	}
+}

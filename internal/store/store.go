@@ -1,0 +1,337 @@
+// Package store is the summary server's durability subsystem: an
+// append-only write-ahead log plus periodic full snapshots, both carrying
+// (dataset, summary) records whose payloads are the deterministic v2
+// binary wire format (internal/core codecv2).
+//
+// The contract with the registry (internal/server.Registry via its
+// Persister hook):
+//
+//   - every accepted registration is appended to the WAL before the
+//     request is acknowledged — the WAL is the source of truth between
+//     snapshots;
+//   - every SnapshotEvery appends, the full registry image is written
+//     atomically (temp file + fsync + rename) and the WAL is truncated —
+//     recovery cost stays bounded by the snapshot interval, not uptime;
+//   - Open replays snapshot then WAL into the caller's registry,
+//     tolerating a torn final WAL record (a crash mid-append): the
+//     recovered state is the longest valid record prefix, exactly the
+//     registrations that were previously acknowledged durable.
+//
+// Replay is idempotent: a record re-applied after an ill-timed crash
+// between snapshot promotion and WAL truncation replaces a (dataset,
+// instance) entry with the identical summary, so every crash point
+// converges to the same recovered registry.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/pkg/api"
+)
+
+// DefaultSnapshotEvery is the append count between automatic snapshots
+// when Options.SnapshotEvery is zero.
+const DefaultSnapshotEvery = 4096
+
+// Options configures a Store at Open.
+type Options struct {
+	// SnapshotEvery is the number of WAL appends between automatic
+	// snapshots: Append reports snapshotDue every SnapshotEvery records.
+	// Zero means DefaultSnapshotEvery; negative disables automatic
+	// snapshots (Snapshot can still be called explicitly, e.g. at
+	// shutdown).
+	SnapshotEvery int64
+	// Fsync syncs the WAL file after every append, making each
+	// acknowledgment durable against power loss, not just process death.
+	// Off, the OS flushes at its leisure — crash-consistent (replay never
+	// sees a half-state) but the tail may be lost with the page cache.
+	Fsync bool
+}
+
+// Store is an open durability directory: a WAL accepting appends and the
+// snapshot machinery around it. Methods are safe for concurrent use; the
+// registry additionally serializes Append calls under its own lock, which
+// is what makes WAL order identical to registry apply order.
+type Store struct {
+	dir   string
+	opts  Options
+	codec core.Codec
+
+	mu     sync.Mutex
+	closed bool
+	lock   *os.File
+	wal    *os.File
+	w      *recordWriter
+
+	walRecords    int64
+	sinceSnapshot int64
+	snapEntries   int64
+	lastSnapshot  time.Time
+	lastSnapErr   string
+
+	recoveredDatasets  int
+	recoveredSummaries int64
+}
+
+// Open opens (creating if needed) the durability directory and replays
+// its state — snapshot first, then the WAL's longest valid record prefix
+// — through apply, in the exact order the records were accepted. The WAL
+// is truncated to its valid prefix so a torn tail never lingers. apply is
+// typically Registry.Put on a fresh registry; attach the store as the
+// registry's persister only after Open returns, so replay does not
+// re-append what the log already holds.
+func Open(dir string, opts Options, apply func(dataset string, s core.Summary) error) (st *Store, err error) {
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = DefaultSnapshotEvery
+	}
+	codec, err := core.CodecByVersion(2)
+	if err != nil {
+		return nil, fmt.Errorf("store: v2 codec unavailable: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating data dir: %w", err)
+	}
+	// One owner per directory, enforced with flock so the lock dies with
+	// the process (a plain lock file would go stale across crashes — the
+	// one situation this store exists for). Two stores appending to one
+	// WAL would interleave WriteAts at overlapping offsets and corrupt
+	// acknowledged records.
+	lock, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("store: data dir %s is in use by another process: %w", dir, err)
+	}
+	// Closing the lock file releases the flock; do so on every failed
+	// open, or an aborted recovery would wedge the directory until the
+	// process exits.
+	defer func() {
+		if st == nil {
+			lock.Close()
+		}
+	}()
+	removeStrayTemps(dir)
+
+	s := &Store{dir: dir, opts: opts, codec: codec, lock: lock}
+	// Count distinct (dataset, instance) summaries, not replayed records:
+	// after a crash between snapshot promotion and WAL truncation the WAL
+	// re-plays records the snapshot already holds (idempotently), and the
+	// recovery report must describe the recovered registry, not the
+	// replay's work.
+	type instance struct {
+		dataset string
+		id      int
+	}
+	datasets := make(map[string]bool)
+	summaries := make(map[instance]bool)
+	counting := func(dataset string, sum core.Summary) error {
+		if err := apply(dataset, sum); err != nil {
+			return err
+		}
+		datasets[dataset] = true
+		summaries[instance{dataset, sum.InstanceID()}] = true
+		return nil
+	}
+
+	s.snapEntries, s.lastSnapshot, err = readSnapshot(dir, counting)
+	if err != nil {
+		return nil, err
+	}
+
+	walPath := filepath.Join(dir, walName)
+	f, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: WAL stat: %w", err)
+	}
+	end := int64(magicLen)
+	switch {
+	case info.Size() == 0:
+		if _, err := f.WriteString(walMagic); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: writing WAL header: %w", err)
+		}
+	case info.Size() < magicLen:
+		// A crash before even the header landed: nothing recoverable, start
+		// the log over.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: resetting torn WAL header: %w", err)
+		}
+		if _, err := f.WriteAt([]byte(walMagic), 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: writing WAL header: %w", err)
+		}
+	default:
+		if err := checkMagic(f, walMagic, "WAL"); err != nil {
+			f.Close()
+			return nil, err
+		}
+		records, valid, err := readRecords(f, info.Size()-magicLen, false, counting)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		s.walRecords = records
+		end = magicLen + valid
+		if end < info.Size() {
+			// Tear off the invalid tail so appends continue from a clean
+			// boundary.
+			if err := f.Truncate(end); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("store: truncating torn WAL tail: %w", err)
+			}
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: syncing WAL after recovery: %w", err)
+	}
+	s.wal = f
+	s.w = newRecordWriter(f, codec, end)
+	s.sinceSnapshot = s.walRecords
+	s.recoveredDatasets = len(datasets)
+	s.recoveredSummaries = int64(len(summaries))
+	return s, nil
+}
+
+// Append writes one accepted (dataset, summary) registration to the WAL.
+// It reports snapshotDue when the appends since the last snapshot have
+// reached Options.SnapshotEvery — the caller (holding whatever lock
+// serializes registrations) should then call Snapshot with a consistent
+// dump. Append implements half of server.Persister.
+func (s *Store) Append(dataset string, sum core.Summary) (snapshotDue bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, fmt.Errorf("store: append on closed store")
+	}
+	prevEnd := s.w.end
+	if err := s.w.append(dataset, sum); err != nil {
+		return false, err
+	}
+	if s.opts.Fsync {
+		if err := s.wal.Sync(); err != nil {
+			// The record is fully framed on disk, but this error makes the
+			// caller roll the registration back and fail the request — so
+			// the frame must go too, or a restart would resurrect a summary
+			// the client was told did not land. If even the truncate fails,
+			// poison the store: better no more appends than a log whose
+			// valid prefix disagrees with what was acknowledged.
+			if terr := s.wal.Truncate(prevEnd); terr != nil {
+				s.closed = true
+				s.wal.Close()
+				s.lock.Close()
+				return false, fmt.Errorf("store: syncing WAL: %v (truncating the unacknowledged record also failed, store closed: %w)", err, terr)
+			}
+			s.w.end = prevEnd
+			return false, fmt.Errorf("store: syncing WAL: %w", err)
+		}
+	}
+	s.walRecords++
+	s.sinceSnapshot++
+	return s.opts.SnapshotEvery > 0 && s.sinceSnapshot >= s.opts.SnapshotEvery, nil
+}
+
+// Snapshot writes the full image dump yields — atomically, via temp file
+// and rename — and then truncates the WAL: the snapshot supersedes every
+// logged record. dump must iterate a state that includes everything
+// appended so far (the registry guarantees this by dumping under the
+// same lock that ordered the appends). A crash anywhere inside Snapshot
+// is safe: before the rename the old snapshot + full WAL recover the
+// state; after it, the new snapshot does, with any not-yet-truncated WAL
+// records replaying idempotently. Snapshot implements the other half of
+// server.Persister.
+func (s *Store) Snapshot(dump func(emit func(dataset string, s core.Summary) error) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: snapshot on closed store")
+	}
+	if err := s.snapshotLocked(dump); err != nil {
+		// Durability is intact — the WAL holds every record — but surface
+		// the failure in Status (operators watch /healthz) and back off a
+		// full snapshot interval before the next automatic attempt, so a
+		// persistently failing snapshot does not cost a registry dump on
+		// every subsequent append.
+		s.lastSnapErr = err.Error()
+		s.sinceSnapshot = 0
+		return err
+	}
+	s.lastSnapErr = ""
+	return nil
+}
+
+func (s *Store) snapshotLocked(dump func(emit func(dataset string, s core.Summary) error) error) error {
+	tmp, entries, err := writeSnapshotTemp(s.dir, s.codec, dump)
+	if err != nil {
+		return err
+	}
+	if err := promoteSnapshot(s.dir, tmp); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := s.wal.Truncate(magicLen); err != nil {
+		return fmt.Errorf("store: truncating WAL after snapshot: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: syncing truncated WAL: %w", err)
+	}
+	s.w.end = magicLen
+	s.walRecords = 0
+	s.sinceSnapshot = 0
+	s.snapEntries = entries
+	s.lastSnapshot = time.Now()
+	return nil
+}
+
+// Status reports the store's durability state for /healthz.
+func (s *Store) Status() api.StoreStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := api.StoreStatus{
+		Dir:                s.dir,
+		WALRecords:         s.walRecords,
+		WALBytes:           s.w.end - magicLen,
+		SnapshotEntries:    s.snapEntries,
+		RecoveredDatasets:  s.recoveredDatasets,
+		RecoveredSummaries: s.recoveredSummaries,
+		Fsync:              s.opts.Fsync,
+	}
+	st.SnapshotError = s.lastSnapErr
+	if !s.lastSnapshot.IsZero() {
+		st.LastSnapshot = s.lastSnapshot.UTC().Format(time.RFC3339)
+	}
+	return st
+}
+
+// Close flushes and fsyncs the WAL and releases the directory. A store
+// shutting down cleanly should Snapshot first (as summaryd does on
+// SIGTERM) so the next Open replays a snapshot instead of the whole log —
+// but skipping that costs only recovery time, never data.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	defer s.lock.Close() // releases the directory flock
+	if err := s.wal.Sync(); err != nil {
+		s.wal.Close()
+		return fmt.Errorf("store: syncing WAL at close: %w", err)
+	}
+	return s.wal.Close()
+}

@@ -1,0 +1,508 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/sampling"
+	"repro/internal/server"
+)
+
+// The store implements the registry's persistence seam.
+var _ server.Persister = (*Store)(nil)
+
+// datasetSpec pins the per-dataset invariants (kind, salt, coordination)
+// the registry enforces, so random operation sequences never trip the
+// compatibility checks.
+type datasetSpec struct {
+	name   string
+	kind   string
+	salt   uint64
+	shared bool
+}
+
+var specs = []datasetSpec{
+	{name: "alpha", kind: "pps", salt: 101},
+	{name: "beta", kind: "bottomk", salt: 202, shared: true},
+	{name: "gamma", kind: "set", salt: 303},
+}
+
+// randomSummary draws a small random summary matching spec for a random
+// instance in [0, 4).
+func randomSummary(rng *rand.Rand, spec datasetSpec) core.Summary {
+	summ := core.NewSummarizer(spec.salt)
+	if spec.shared {
+		summ = core.NewCoordinatedSummarizer(spec.salt)
+	}
+	instance := rng.Intn(4)
+	n := 1 + rng.Intn(40)
+	in := make(dataset.Instance, n)
+	for len(in) < n {
+		in[dataset.Key(rng.Uint64())] = float64(1 + rng.Intn(1000))
+	}
+	switch spec.kind {
+	case "pps":
+		return summ.SummarizePPS(instance, in, 1+rng.Float64()*500)
+	case "bottomk":
+		return summ.SummarizeBottomK(instance, in, 1+rng.Intn(10), sampling.EXP{})
+	case "set":
+		members := make(map[dataset.Key]bool, len(in))
+		for h := range in {
+			members[h] = true
+		}
+		return summ.SummarizeSet(instance, members, 0.5)
+	}
+	panic("unknown kind")
+}
+
+// image renders a registry (or shadow state) as v2 bytes per (dataset,
+// instance): the bit-for-bit comparison currency of every recovery test.
+// Encoding equality implies query equality — v2 bytes determine the
+// summary and its randomization completely, and queries are
+// deterministic functions of both.
+func image(t *testing.T, dump func(emit func(string, core.Summary) error) error) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	err := dump(func(ds string, s core.Summary) error {
+		data, err := core.EncodeSummary(s, 2)
+		if err != nil {
+			return err
+		}
+		out[fmt.Sprintf("%s/%d", ds, s.InstanceID())] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("dumping image: %v", err)
+	}
+	return out
+}
+
+// shadow is the test's independent model of registry state.
+type shadow map[string]map[int]core.Summary
+
+func (sh shadow) put(ds string, s core.Summary) {
+	if sh[ds] == nil {
+		sh[ds] = make(map[int]core.Summary)
+	}
+	sh[ds][s.InstanceID()] = s
+}
+
+func (sh shadow) clone() shadow {
+	out := make(shadow, len(sh))
+	for ds, m := range sh {
+		out[ds] = make(map[int]core.Summary, len(m))
+		for id, s := range m {
+			out[ds][id] = s
+		}
+	}
+	return out
+}
+
+func (sh shadow) dump(emit func(string, core.Summary) error) error {
+	for ds, m := range sh {
+		for _, s := range m {
+			if err := emit(ds, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mustMatch asserts two images are identical.
+func mustMatch(t *testing.T, what string, got, want map[string][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d summaries, want %d", what, len(got), len(want))
+	}
+	for key, wb := range want {
+		gb, ok := got[key]
+		if !ok {
+			t.Fatalf("%s: missing %s", what, key)
+		}
+		if !bytes.Equal(gb, wb) {
+			t.Fatalf("%s: %s differs after recovery (%d vs %d bytes)", what, key, len(gb), len(wb))
+		}
+	}
+}
+
+// reopen replays dir into a fresh registry and returns it with its store.
+func reopen(t *testing.T, dir string, opts Options) (*server.Registry, *Store) {
+	t.Helper()
+	reg := server.NewRegistry()
+	st, err := Open(dir, opts, reg.Put)
+	if err != nil {
+		t.Fatalf("reopening store: %v", err)
+	}
+	reg.SetPersister(st)
+	return reg, st
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(1))
+	reg, st := reopen(t, dir, Options{})
+
+	want := make(shadow)
+	for i := 0; i < 25; i++ {
+		spec := specs[rng.Intn(len(specs))]
+		s := randomSummary(rng, spec)
+		if err := reg.Put(spec.name, s); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		want.put(spec.name, s)
+	}
+	status := st.Status()
+	if status.WALRecords != 25 {
+		t.Fatalf("WALRecords = %d, want 25", status.WALRecords)
+	}
+	if status.WALBytes <= 0 {
+		t.Fatalf("WALBytes = %d, want > 0", status.WALBytes)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	reg2, st2 := reopen(t, dir, Options{})
+	defer st2.Close()
+	mustMatch(t, "round trip", image(t, reg2.Dump), image(t, want.dump))
+	status = st2.Status()
+	if status.RecoveredDatasets != len(specs) {
+		t.Fatalf("RecoveredDatasets = %d, want %d", status.RecoveredDatasets, len(specs))
+	}
+	// Recovered summaries are distinct (dataset, instance) entries — the
+	// registry's contents — not the 25 replayed records (re-puts replace).
+	distinct := 0
+	for _, m := range want {
+		distinct += len(m)
+	}
+	if status.RecoveredSummaries != int64(distinct) {
+		t.Fatalf("RecoveredSummaries = %d, want %d", status.RecoveredSummaries, distinct)
+	}
+}
+
+func TestSnapshotLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(2))
+	reg, st := reopen(t, dir, Options{SnapshotEvery: 4})
+
+	want := make(shadow)
+	for i := 0; i < 10; i++ {
+		spec := specs[i%len(specs)]
+		s := randomSummary(rng, spec)
+		if err := reg.Put(spec.name, s); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		want.put(spec.name, s)
+	}
+	// 10 appends with a snapshot every 4: two snapshots fired, WAL holds
+	// the 2 records since the second.
+	status := st.Status()
+	if status.WALRecords != 2 {
+		t.Fatalf("WALRecords = %d, want 2 (snapshots did not fire)", status.WALRecords)
+	}
+	if status.SnapshotEntries == 0 || status.LastSnapshot == "" {
+		t.Fatalf("snapshot status not recorded: %+v", status)
+	}
+	st.Close()
+
+	reg2, st2 := reopen(t, dir, Options{SnapshotEvery: 4})
+	mustMatch(t, "snapshot+wal", image(t, reg2.Dump), image(t, want.dump))
+
+	// An explicit snapshot (the shutdown path) empties the WAL.
+	if err := reg2.Snapshot(); err != nil {
+		t.Fatalf("explicit snapshot: %v", err)
+	}
+	status = st2.Status()
+	if status.WALRecords != 0 || status.WALBytes != 0 {
+		t.Fatalf("WAL not truncated after snapshot: %+v", status)
+	}
+	st2.Close()
+
+	reg3, st3 := reopen(t, dir, Options{})
+	defer st3.Close()
+	mustMatch(t, "snapshot only", image(t, reg3.Dump), image(t, want.dump))
+	if got := st3.Status().WALRecords; got != 0 {
+		t.Fatalf("WALRecords after snapshot-only recovery = %d, want 0", got)
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(3))
+	reg, st := reopen(t, dir, Options{})
+	want := make(shadow)
+	for i := 0; i < 5; i++ {
+		spec := specs[0]
+		s := randomSummary(rng, spec)
+		if err := reg.Put(spec.name, s); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		want.put(spec.name, s)
+	}
+	st.Close()
+
+	// A crash mid-append: garbage where the sixth record would be.
+	walPath := filepath.Join(dir, walName)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x13, 0x37, 0xCB, 0x53, 0x00, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	sizeBefore := fileSize(t, walPath)
+
+	reg2, st2 := reopen(t, dir, Options{})
+	mustMatch(t, "torn tail", image(t, reg2.Dump), image(t, want.dump))
+	if got := fileSize(t, walPath); got >= sizeBefore {
+		t.Fatalf("torn tail not truncated: %d >= %d", got, sizeBefore)
+	}
+
+	// Appends continue cleanly from the truncated boundary.
+	s := randomSummary(rng, specs[0])
+	if err := reg2.Put(specs[0].name, s); err != nil {
+		t.Fatalf("put after truncation: %v", err)
+	}
+	want.put(specs[0].name, s)
+	st2.Close()
+
+	reg3, st3 := reopen(t, dir, Options{})
+	defer st3.Close()
+	mustMatch(t, "append after truncation", image(t, reg3.Dump), image(t, want.dump))
+}
+
+func TestSnapshotAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(4))
+	reg, st := reopen(t, dir, Options{})
+	want := make(shadow)
+	put := func(n int) {
+		for i := 0; i < n; i++ {
+			spec := specs[rng.Intn(len(specs))]
+			s := randomSummary(rng, spec)
+			if err := reg.Put(spec.name, s); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+			want.put(spec.name, s)
+		}
+	}
+	put(6)
+	if err := reg.Snapshot(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	put(4) // these live only in the WAL
+
+	// Simulate a crash between temp-file write and rename: the new image
+	// is fully written but never promoted.
+	codec, err := core.CodecByVersion(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp, entries, err := writeSnapshotTemp(dir, codec, reg.Dump)
+	if err != nil {
+		t.Fatalf("writeSnapshotTemp: %v", err)
+	}
+	if entries == 0 {
+		t.Fatal("temp snapshot wrote no entries")
+	}
+	snapBefore, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Recovery must use the previous snapshot (untouched by the aborted
+	// attempt) plus the WAL, and must discard the stray temp file.
+	reg2, st2 := reopen(t, dir, Options{})
+	defer st2.Close()
+	mustMatch(t, "aborted snapshot", image(t, reg2.Dump), image(t, want.dump))
+	snapAfter, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapBefore, snapAfter) {
+		t.Fatal("previous snapshot was modified by the aborted attempt")
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stray snapshot temp file survived recovery: %v", err)
+	}
+}
+
+func TestSnapshotCorruptionIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(5))
+	reg, st := reopen(t, dir, Options{})
+	if err := reg.Put("alpha", randomSummary(rng, specs[0])); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Flip a payload byte: snapshots are renamed atomically, so damage is
+	// disk corruption and replay must refuse rather than guess.
+	path := filepath.Join(dir, snapshotName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}, func(string, core.Summary) error { return nil }); err == nil {
+		t.Fatal("Open accepted a corrupted snapshot")
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}
+
+func TestDirectoryLockExcludesSecondStore(t *testing.T) {
+	dir := t.TempDir()
+	_, st := reopen(t, dir, Options{})
+	if _, err := Open(dir, Options{}, func(string, core.Summary) error { return nil }); err == nil {
+		t.Fatal("second Open on a live directory succeeded; two writers would corrupt the WAL")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close releases the flock: the directory is usable again.
+	_, st2 := reopen(t, dir, Options{})
+	st2.Close()
+}
+
+func TestSnapshotWALOverlapReplaysIdempotently(t *testing.T) {
+	// The crash window between snapshot promotion and WAL truncation: the
+	// snapshot holds everything and the WAL still holds everything too.
+	// Replay must converge to the same registry (idempotent re-puts) and
+	// the recovery report must count recovered summaries, not replayed
+	// records.
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(6))
+	reg, st := reopen(t, dir, Options{})
+	want := make(shadow)
+	for i := 0; i < 6; i++ {
+		spec := specs[i%len(specs)]
+		s := randomSummary(rng, spec)
+		if err := reg.Put(spec.name, s); err != nil {
+			t.Fatal(err)
+		}
+		want.put(spec.name, s)
+	}
+	distinct := 0
+	for _, m := range want {
+		distinct += len(m)
+	}
+	// Promote a full snapshot by hand, WITHOUT the WAL truncation that
+	// Store.Snapshot would do next — exactly the crash-window state.
+	codec, err := core.CodecByVersion(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp, _, err := writeSnapshotTemp(dir, codec, reg.Dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := promoteSnapshot(dir, tmp); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	reg2, st2 := reopen(t, dir, Options{})
+	defer st2.Close()
+	mustMatch(t, "overlap replay", image(t, reg2.Dump), image(t, want.dump))
+	status := st2.Status()
+	if status.RecoveredSummaries != int64(distinct) {
+		t.Fatalf("RecoveredSummaries = %d, want %d distinct (records were double-counted)",
+			status.RecoveredSummaries, distinct)
+	}
+	if status.RecoveredDatasets != len(want) {
+		t.Fatalf("RecoveredDatasets = %d, want %d", status.RecoveredDatasets, len(want))
+	}
+}
+
+func TestFsyncFailureDoesNotResurrectRecord(t *testing.T) {
+	// With -fsync, a Sync failure NACKs the request and the registry rolls
+	// back; the frame that already hit the file must be erased, or a
+	// restart would resurrect a summary the client was told did not land.
+	// A real Sync failure needs a broken disk; instead, verify the
+	// truncation arithmetic the recovery depends on: after an append is
+	// undone via Truncate(prevEnd), replay sees only the earlier records.
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	reg, st := reopen(t, dir, Options{})
+	keep := randomSummary(rng, specs[0])
+	if err := reg.Put(specs[0].name, keep); err != nil {
+		t.Fatal(err)
+	}
+	prevEnd := st.w.end
+	if _, err := st.Append("doomed", randomSummary(rng, specs[0])); err != nil {
+		t.Fatal(err)
+	}
+	// Undo exactly as the Sync-failure path does.
+	if err := st.wal.Truncate(prevEnd); err != nil {
+		t.Fatal(err)
+	}
+	st.w.end = prevEnd
+	st.Close()
+
+	var got []string
+	st2, err := Open(dir, Options{}, func(ds string, s core.Summary) error {
+		got = append(got, ds)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	if len(got) != 1 || got[0] != specs[0].name {
+		t.Fatalf("replay found %v, want only [%s]: the unacknowledged record survived", got, specs[0].name)
+	}
+}
+
+func TestSnapshotFailureSurfacesAndBacksOff(t *testing.T) {
+	// Deleting the data dir out from under the store keeps the open WAL
+	// fd appendable but makes snapshot temp-file creation fail — a stand-
+	// in for quota/permission failures. Puts must keep succeeding (the
+	// WAL holds them), the failure must surface in Status, and the next
+	// automatic attempt must wait a full interval, not fire per append.
+	dir := filepath.Join(t.TempDir(), "sub")
+	rng := rand.New(rand.NewSource(8))
+	reg, st := reopen(t, dir, Options{SnapshotEvery: 2})
+	if err := reg.Put(specs[0].name, randomSummary(rng, specs[0])); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Second put trips the due snapshot, which fails; the put succeeds.
+	if err := reg.Put(specs[0].name, randomSummary(rng, specs[0])); err != nil {
+		t.Fatalf("put with failing snapshot: %v", err)
+	}
+	status := st.Status()
+	if status.SnapshotError == "" {
+		t.Fatal("snapshot failure not surfaced in Status")
+	}
+	// Backoff: the failed attempt reset the interval, so the very next
+	// put must not be due again (sinceSnapshot restarted at 0).
+	if due, err := st.Append("probe", randomSummary(rng, specs[0])); err != nil || due {
+		t.Fatalf("append after failed snapshot: due=%v err=%v (want no immediate retry)", due, err)
+	}
+	st.Close()
+}

@@ -1,0 +1,211 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/core"
+)
+
+// The durable record framing, shared by the write-ahead log and the
+// snapshot body. One record carries one accepted (dataset, summary)
+// registration:
+//
+//	offset  size  field
+//	0       4     payload length N, uint32 little-endian
+//	4       4     CRC32-C (Castagnoli) of the payload, uint32 little-endian
+//	8       N     payload:
+//	              uvarint  dataset-name length
+//	              ...      dataset name (UTF-8)
+//	              ...      summary, v2 binary wire format (codecv2.go)
+//
+// The length lives outside the checksum so a torn tail is detected
+// structurally (length runs past the file) as well as by CRC; a record
+// whose CRC fails, whose length is zero or absurd, or whose payload does
+// not decode ends WAL replay at the previous record — the longest valid
+// prefix is the recovered state. Appends patch the header in after the
+// payload bytes are on disk, so a crash mid-append leaves a zero length
+// (an invalid record) rather than a frame that lies about its extent.
+
+const (
+	// recordHeaderLen is the framing overhead per record.
+	recordHeaderLen = 8
+	// maxRecord caps a record's declared payload length. It matches the
+	// summary server's largest acceptable request body; a length beyond it
+	// is corruption, not a summary, and replay must not trust it with an
+	// allocation.
+	maxRecord = 256 << 20
+	// maxDatasetName caps the dataset-name prefix inside a payload.
+	maxDatasetName = 1 << 12
+)
+
+// File headers. Both files open with a 5-byte ASCII magic naming the
+// format and its version, so a foreign or future file fails loudly
+// instead of replaying as garbage.
+const (
+	walMagic  = "CWAL1"
+	snapMagic = "CSNP1"
+	magicLen  = 5
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// payloadWriter writes a record payload at a fixed file position,
+// accumulating the CRC and length the header needs. It writes with
+// WriteAt so the 8 header bytes before it stay reserved until the
+// payload is complete.
+type payloadWriter struct {
+	f   *os.File
+	off int64
+	n   int64
+	crc uint32
+}
+
+func (p *payloadWriter) Write(b []byte) (int, error) {
+	n, err := p.f.WriteAt(b, p.off)
+	p.crc = crc32.Update(p.crc, crcTable, b[:n])
+	p.off += int64(n)
+	p.n += int64(n)
+	return n, err
+}
+
+// recordWriter appends framed records to a file. The WAL holds one for
+// its lifetime; each snapshot creates one for its temp file.
+type recordWriter struct {
+	f     *os.File
+	bw    *bufio.Writer
+	codec core.Codec
+	// end is the logical end of the file: where the next record starts.
+	end int64
+}
+
+func newRecordWriter(f *os.File, codec core.Codec, end int64) *recordWriter {
+	return &recordWriter{f: f, bw: bufio.NewWriterSize(nil, 32<<10), codec: codec, end: end}
+}
+
+// append frames one (dataset, summary) record at the current end. The
+// payload streams through the v2 codec's EncodeTo — a large summary never
+// materializes a second buffer — and the header is patched in afterwards,
+// which is what makes a mid-append crash look like a torn record instead
+// of a valid-looking frame over garbage.
+func (w *recordWriter) append(dataset string, s core.Summary) error {
+	pw := &payloadWriter{f: w.f, off: w.end + recordHeaderLen}
+	w.bw.Reset(pw)
+	var varint [binary.MaxVarintLen64]byte
+	if _, err := w.bw.Write(varint[:binary.PutUvarint(varint[:], uint64(len(dataset)))]); err != nil {
+		return fmt.Errorf("store: appending record: %w", err)
+	}
+	if _, err := w.bw.WriteString(dataset); err != nil {
+		return fmt.Errorf("store: appending record: %w", err)
+	}
+	if err := w.codec.EncodeTo(w.bw, s); err != nil {
+		return fmt.Errorf("store: encoding summary for dataset %q: %w", dataset, err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("store: appending record: %w", err)
+	}
+	if pw.n > maxRecord {
+		// Unframeable: the record would be rejected by replay. The file now
+		// carries a zero header before it, so the oversized bytes are torn
+		// off on the next open.
+		return fmt.Errorf("store: record for dataset %q is %d bytes (max %d)", dataset, pw.n, maxRecord)
+	}
+	var hdr [recordHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(pw.n))
+	binary.LittleEndian.PutUint32(hdr[4:8], pw.crc)
+	if _, err := w.f.WriteAt(hdr[:], w.end); err != nil {
+		return fmt.Errorf("store: appending record header: %w", err)
+	}
+	w.end += recordHeaderLen + pw.n
+	return nil
+}
+
+// readRecords scans framed records from r, which is positioned just past
+// the file header, and applies each decoded (dataset, summary). size is
+// the remaining byte count. In strict mode (snapshots, which are written
+// atomically and must be wholly intact) any invalid record is an error.
+// In lax mode (the WAL, whose tail a crash may tear) scanning stops at
+// the first STRUCTURALLY invalid record — short frame, zero/absurd
+// length, CRC mismatch — with a nil error: records reports how many
+// valid records were applied and validBytes the length of the valid
+// prefix, which the caller truncates to.
+//
+// A payload that passes its CRC but fails to parse is a hard error in
+// BOTH modes: the patch-header-last append discipline guarantees a torn
+// append never checksums, so an unintelligible checksummed payload can
+// only mean version skew (a binary downgrade reading a future format) or
+// a writer bug — truncating it, and every acknowledged record after it,
+// would silently destroy data the log still faithfully holds.
+func readRecords(r io.Reader, size int64, strict bool, apply func(dataset string, s core.Summary) error) (records, validBytes int64, err error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var scratch []byte
+	invalid := func(format string, args ...any) (int64, int64, error) {
+		if strict {
+			args = append([]any{records + 1}, args...)
+			return records, validBytes, fmt.Errorf("store: record %d: "+format, args...)
+		}
+		return records, validBytes, nil
+	}
+	remaining := size
+	for remaining > 0 {
+		if remaining < recordHeaderLen {
+			return invalid("torn header (%d trailing bytes)", remaining)
+		}
+		var hdr [recordHeaderLen]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return records, validBytes, fmt.Errorf("store: reading record header: %w", err)
+		}
+		length := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxRecord {
+			return invalid("invalid payload length %d", length)
+		}
+		if length > remaining-recordHeaderLen {
+			return invalid("payload runs past the file (%d declared, %d remain)", length, remaining-recordHeaderLen)
+		}
+		if int64(cap(scratch)) < length {
+			scratch = make([]byte, length)
+		}
+		payload := scratch[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return records, validBytes, fmt.Errorf("store: reading record payload: %w", err)
+		}
+		if got := crc32.Checksum(payload, crcTable); got != crc {
+			return invalid("checksum mismatch (stored %#08x, computed %#08x)", crc, got)
+		}
+		nameLen, n := binary.Uvarint(payload)
+		if n <= 0 || nameLen > maxDatasetName || int64(n)+int64(nameLen) > length {
+			return records, validBytes, fmt.Errorf(
+				"store: record %d: checksummed payload has an invalid dataset-name length (version skew or writer bug; refusing to truncate)", records+1)
+		}
+		dataset := string(payload[n : int64(n)+int64(nameLen)])
+		sum, derr := core.DecodeSummary(payload[int64(n)+int64(nameLen):])
+		if derr != nil {
+			return records, validBytes, fmt.Errorf(
+				"store: record %d: checksummed payload failed to decode (version skew or writer bug; refusing to truncate): %w", records+1, derr)
+		}
+		if err := apply(dataset, sum); err != nil {
+			return records, validBytes, fmt.Errorf("store: replaying record %d (dataset %q): %w", records+1, dataset, err)
+		}
+		records++
+		validBytes += recordHeaderLen + length
+		remaining -= recordHeaderLen + length
+	}
+	return records, validBytes, nil
+}
+
+// checkMagic validates a file's 5-byte header against the expected magic.
+func checkMagic(r io.Reader, want, what string) error {
+	var got [magicLen]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		return fmt.Errorf("store: reading %s header: %w", what, err)
+	}
+	if string(got[:]) != want {
+		return fmt.Errorf("store: %s header %q is not %q (foreign or future file)", what, got[:], want)
+	}
+	return nil
+}

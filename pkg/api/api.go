@@ -37,10 +37,41 @@ type MultiPostResult struct {
 // registered datasets, for load-balancer probes and quick capacity reads.
 // WireVersions lists the summary wire-format versions the server speaks,
 // so operators (and clients) can probe codec support before posting.
+// Store describes the durability subsystem when the server runs with one
+// (summaryd -data-dir); a purely in-memory server omits it.
 type HealthResult struct {
-	Status       string `json:"status"`
-	Datasets     int    `json:"datasets"`
-	WireVersions []int  `json:"wire_versions"`
+	Status       string       `json:"status"`
+	Datasets     int          `json:"datasets"`
+	WireVersions []int        `json:"wire_versions"`
+	Store        *StoreStatus `json:"store,omitempty"`
+}
+
+// StoreStatus is the durability subsystem's health: the write-ahead log's
+// current extent, the last snapshot, and what recovery replayed at boot.
+type StoreStatus struct {
+	// Dir is the durability directory (summaryd -data-dir).
+	Dir string `json:"dir"`
+	// WALRecords and WALBytes measure the log written since the last
+	// snapshot — the work a crash right now would replay.
+	WALRecords int64 `json:"wal_records"`
+	WALBytes   int64 `json:"wal_bytes"`
+	// SnapshotEntries is the number of summaries in the snapshot on disk
+	// (0 when none has been taken yet).
+	SnapshotEntries int64 `json:"snapshot_entries"`
+	// LastSnapshot is the RFC 3339 time of the live snapshot; empty when
+	// none exists.
+	LastSnapshot string `json:"last_snapshot,omitempty"`
+	// SnapshotError is the most recent snapshot failure, cleared by the
+	// next success. A non-empty value with a durable WAL is degraded, not
+	// lost: recovery cost grows until snapshots succeed again.
+	SnapshotError string `json:"snapshot_error,omitempty"`
+	// RecoveredDatasets and RecoveredSummaries count what replay restored
+	// when this process opened the store.
+	RecoveredDatasets  int   `json:"recovered_datasets"`
+	RecoveredSummaries int64 `json:"recovered_summaries"`
+	// Fsync reports whether every append is synced to stable storage
+	// before being acknowledged.
+	Fsync bool `json:"fsync"`
 }
 
 // DatasetInfo describes one registered dataset.
