@@ -74,7 +74,7 @@ func main() {
 	queue := flag.Int("queue", 0, "per-shard queue depth in batches (0 = default 8)")
 	wire := flag.Int("wire", 1, "default wire version for summary fetch-backs without an Accept preference (1 = JSON, 2 = binary)")
 	dataDir := flag.String("data-dir", "", "durability directory (WAL + snapshots); empty keeps the registry in-memory")
-	snapshotEvery := flag.Int64("snapshot-every", store.DefaultSnapshotEvery, "WAL records between automatic snapshots (negative disables automatic snapshots)")
+	snapshotEvery := flag.Int64("snapshot-every", store.DefaultSnapshotEvery, "WAL records between automatic snapshots (negative disables automatic snapshots); each snapshot dumps the full registry while blocking posts and queries, so small values trade throughput for recovery time on large registries")
 	fsync := flag.Bool("fsync", false, "fsync the WAL after every accepted summary (durable against power loss)")
 	flag.Parse()
 

@@ -114,8 +114,8 @@ func resolveFormat(q url.Values, r *http.Request) (string, error) {
 func (s *Server) parseIngestParams(r *http.Request) (ingestParams, error) {
 	q := r.URL.Query()
 	out := ingestParams{dataset: q.Get("dataset"), kind: q.Get("kind")}
-	if out.dataset == "" {
-		return out, fmt.Errorf("server: missing dataset parameter")
+	if err := checkDatasetName(out.dataset); err != nil {
+		return out, err
 	}
 	instance, err := strconv.Atoi(q.Get("instance"))
 	if err != nil {
@@ -233,8 +233,8 @@ type multiIngestParams struct {
 func (s *Server) parseMultiIngestParams(r *http.Request) (multiIngestParams, error) {
 	q := r.URL.Query()
 	out := multiIngestParams{dataset: q.Get("dataset"), kind: q.Get("kind")}
-	if out.dataset == "" {
-		return out, fmt.Errorf("server: missing dataset parameter")
+	if err := checkDatasetName(out.dataset); err != nil {
+		return out, err
 	}
 	ids, err := parseInstances(q.Get("instances"))
 	if err != nil {

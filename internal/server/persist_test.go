@@ -50,6 +50,28 @@ func persistSummary(instance int) core.Summary {
 	return core.NewSummarizer(7).SummarizePPS(instance, dataset.Instance{1: 2, 3: 4}, 0.5)
 }
 
+func TestPutBoundsDatasetNameWithoutPersister(t *testing.T) {
+	// The name bound is an API invariant, not a durability detail: an
+	// in-memory registry must reject the same names the durable store
+	// would, or the accepted-name set would depend on -data-dir — and a
+	// registry populated without a persister could hold a name a later
+	// SetPersister + Snapshot chokes on.
+	reg := NewRegistry()
+	long := make([]byte, api.MaxDatasetName+1)
+	for i := range long {
+		long[i] = 'n'
+	}
+	if err := reg.Put(string(long), persistSummary(0)); err == nil {
+		t.Fatal("Put accepted a dataset name longer than api.MaxDatasetName")
+	}
+	if _, err := reg.Get(string(long), nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("overlong dataset was registered anyway: err=%v", err)
+	}
+	if err := reg.Put(string(long[:api.MaxDatasetName]), persistSummary(0)); err != nil {
+		t.Fatalf("put with max-length name: %v", err)
+	}
+}
+
 func TestPutAppendsToPersister(t *testing.T) {
 	reg := NewRegistry()
 	p := &fakePersister{}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/xhash"
+	"repro/pkg/api"
 )
 
 // Registry errors, distinguished so HTTP handlers can map them to status
@@ -97,6 +98,15 @@ func (r *Registry) SetPersister(p Persister) {
 func (r *Registry) Put(dataset string, s core.Summary) error {
 	if dataset == "" {
 		return fmt.Errorf("server: empty dataset name")
+	}
+	if len(dataset) > api.MaxDatasetName {
+		// Enforced here, not only in the store, so the accepted-name set
+		// does not depend on whether durability is configured — and so a
+		// registry populated without a persister can never hold a name a
+		// later SetPersister + Snapshot would choke on. The store checks
+		// again at write time as a backstop (its replay validator
+		// hard-fails on longer names).
+		return fmt.Errorf("server: dataset name is %d bytes (max %d)", len(dataset), api.MaxDatasetName)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/pkg/api"
 )
 
 // maxSummaryBody bounds a posted summary body. 64 MiB holds tens of
@@ -127,6 +128,20 @@ const jsonContentType = "application/json; charset=utf-8"
 // separate, more specific core.ErrUnknownVersion (HTTP 415).
 var errNotAcceptable = errors.New("server: no acceptable summary representation")
 
+// checkDatasetName rejects a missing or overlong dataset parameter up
+// front, before any request body is read or summarized — the same
+// reject-early convention as the randomization conflict checks.
+// Registry.Put enforces the length bound again for library callers.
+func checkDatasetName(ds string) error {
+	if ds == "" {
+		return fmt.Errorf("server: missing dataset parameter")
+	}
+	if len(ds) > api.MaxDatasetName {
+		return fmt.Errorf("server: dataset name is %d bytes (max %d)", len(ds), api.MaxDatasetName)
+	}
+	return nil
+}
+
 // writeError maps a registry/decode error to its status code.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
@@ -154,8 +169,8 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePostSummary(w http.ResponseWriter, r *http.Request) {
 	ds := r.URL.Query().Get("dataset")
-	if ds == "" {
-		writeError(w, fmt.Errorf("server: missing dataset parameter"))
+	if err := checkDatasetName(ds); err != nil {
+		writeError(w, err)
 		return
 	}
 	// The server owns the buffered reader so the trailing-bytes check
@@ -292,8 +307,8 @@ func (s *Server) handleFetchSummary(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	ds := q.Get("dataset")
-	if ds == "" {
-		writeError(w, fmt.Errorf("server: missing dataset parameter"))
+	if err := checkDatasetName(ds); err != nil {
+		writeError(w, err)
 		return
 	}
 	instances, err := parseInstances(q.Get("instances"))

@@ -1,0 +1,16 @@
+//go:build !darwin && !dragonfly && !freebsd && !illumos && !linux && !netbsd && !openbsd
+
+package store
+
+import "os"
+
+// lockEnforced reports whether lockFile actually excludes a second
+// owner on this platform.
+const lockEnforced = false
+
+// lockFile is a no-op on platforms without flock (Windows, solaris,
+// aix, …): the package compiles and works, but single-writer
+// enforcement is advisory there — running two stores on one data
+// directory is the operator's responsibility. (Flock-bearing platforms
+// get kernel-enforced exclusion; see lock_unix.go.)
+func lockFile(*os.File) error { return nil }

@@ -1,0 +1,23 @@
+// The platforms where the stdlib syscall package defines Flock — the
+// plain `unix` constraint is too broad (solaris and aix lack it).
+//go:build darwin || dragonfly || freebsd || illumos || linux || netbsd || openbsd
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockEnforced reports whether lockFile actually excludes a second
+// owner on this platform (tests guarding exclusion behavior skip when
+// it is advisory).
+const lockEnforced = true
+
+// lockFile takes an exclusive, non-blocking flock on f. The kernel
+// releases the lock when the process dies, so a crash never leaves the
+// directory wedged — the one situation this store exists for (a plain
+// lock file would go stale across crashes).
+func lockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

@@ -28,7 +28,6 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
-	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -97,16 +96,15 @@ func Open(dir string, opts Options, apply func(dataset string, s core.Summary) e
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating data dir: %w", err)
 	}
-	// One owner per directory, enforced with flock so the lock dies with
-	// the process (a plain lock file would go stale across crashes — the
-	// one situation this store exists for). Two stores appending to one
-	// WAL would interleave WriteAts at overlapping offsets and corrupt
+	// One owner per directory, enforced with flock (lock_unix.go; non-Unix
+	// platforms compile with a no-op fallback). Two stores appending to
+	// one WAL would interleave WriteAts at overlapping offsets and corrupt
 	// acknowledged records.
 	lock, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: opening lock file: %w", err)
 	}
-	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+	if err := lockFile(lock); err != nil {
 		lock.Close()
 		return nil, fmt.Errorf("store: data dir %s is in use by another process: %w", dir, err)
 	}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -373,7 +374,50 @@ func fileSize(t *testing.T, path string) int64 {
 	return info.Size()
 }
 
+func TestOverlongDatasetNameRefusedAtWriteTime(t *testing.T) {
+	// Replay hard-fails on a checksummed record whose dataset name exceeds
+	// maxDatasetName, so the write side must refuse such a name before it
+	// reaches the log — otherwise one oversized POST would be acknowledged
+	// and then crash-loop every subsequent Open.
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(9))
+	reg, st := reopen(t, dir, Options{})
+	want := make(shadow)
+	keep := randomSummary(rng, specs[0])
+	if err := reg.Put(specs[0].name, keep); err != nil {
+		t.Fatal(err)
+	}
+	want.put(specs[0].name, keep)
+
+	long := string(bytes.Repeat([]byte("n"), maxDatasetName+1))
+	if err := reg.Put(long, randomSummary(rng, specs[0])); err == nil {
+		t.Fatal("Put accepted a dataset name longer than maxDatasetName")
+	}
+	// The rollback must be complete: the registry answers as if the post
+	// never happened.
+	if _, err := reg.Get(long, nil); !errors.Is(err, server.ErrNotFound) {
+		t.Fatalf("overlong dataset survived rollback: err=%v", err)
+	}
+	// A name exactly at the bound is fine.
+	edge := string(bytes.Repeat([]byte("e"), maxDatasetName))
+	s := randomSummary(rng, specs[0])
+	if err := reg.Put(edge, s); err != nil {
+		t.Fatalf("put with max-length name: %v", err)
+	}
+	want.put(edge, s)
+	st.Close()
+
+	// The log holds only refusable-free records, so recovery succeeds and
+	// matches the surviving state bit-for-bit.
+	reg2, st2 := reopen(t, dir, Options{})
+	defer st2.Close()
+	mustMatch(t, "after refused overlong name", image(t, reg2.Dump), image(t, want.dump))
+}
+
 func TestDirectoryLockExcludesSecondStore(t *testing.T) {
+	if !lockEnforced {
+		t.Skip("directory locking is advisory (no-op) on this platform")
+	}
 	dir := t.TempDir()
 	_, st := reopen(t, dir, Options{})
 	if _, err := Open(dir, Options{}, func(string, core.Summary) error { return nil }); err == nil {

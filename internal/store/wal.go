@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/pkg/api"
 )
 
 // The durable record framing, shared by the write-ahead log and the
@@ -39,8 +40,17 @@ const (
 	// is corruption, not a summary, and replay must not trust it with an
 	// allocation.
 	maxRecord = 256 << 20
-	// maxDatasetName caps the dataset-name prefix inside a payload.
-	maxDatasetName = 1 << 12
+	// maxDatasetName caps the dataset-name prefix inside a payload. The
+	// bound is enforced on BOTH sides of the format: append refuses to
+	// write a longer name (failing the registration before anything hits
+	// the file), and replay treats a longer name in a checksummed payload
+	// as corruption. Writer and validator must stay aligned — a record the
+	// writer acknowledges but replay rejects would wedge every later Open.
+	// The registry additionally rejects longer names at registration
+	// (api.MaxDatasetName, the same value), so the API's accepted-name
+	// set is identical with and without durability; the check here is the
+	// backstop that keeps the file-format invariant local to this package.
+	maxDatasetName = api.MaxDatasetName
 )
 
 // File headers. Both files open with a 5-byte ASCII magic naming the
@@ -93,6 +103,14 @@ func newRecordWriter(f *os.File, codec core.Codec, end int64) *recordWriter {
 // which is what makes a mid-append crash look like a torn record instead
 // of a valid-looking frame over garbage.
 func (w *recordWriter) append(dataset string, s core.Summary) error {
+	if len(dataset) > maxDatasetName {
+		// Refuse before any byte is written: replay hard-fails on a
+		// checksummed record whose name exceeds the bound, so logging one
+		// would poison every later Open. The error propagates through
+		// Store.Append to Registry.Put, which rolls the registration back
+		// and fails the request.
+		return fmt.Errorf("store: dataset name is %d bytes (max %d)", len(dataset), maxDatasetName)
+	}
 	pw := &payloadWriter{f: w.f, off: w.end + recordHeaderLen}
 	w.bw.Reset(pw)
 	var varint [binary.MaxVarintLen64]byte

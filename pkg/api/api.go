@@ -4,6 +4,13 @@
 // they live outside internal/ so importers of pkg/client can name them.
 package api
 
+// MaxDatasetName is the longest dataset name (in bytes) the server
+// accepts, with or without durability configured. The bound exists
+// because the durable store's WAL frames each record with a
+// length-checked name prefix; enforcing it uniformly at registration
+// keeps the API identical whether or not -data-dir is set.
+const MaxDatasetName = 4096
+
 // PostResult acknowledges a stored summary (posted or built by ingest).
 type PostResult struct {
 	Dataset  string `json:"dataset"`
