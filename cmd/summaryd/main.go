@@ -36,16 +36,22 @@
 //
 // -data-dir makes the registry durable: every accepted summary and
 // ingest result is appended to a write-ahead log in that directory
-// before the request is acknowledged, a full snapshot is written (and
-// the WAL truncated) every -snapshot-every records, and a restart
-// replays snapshot + WAL so stored summaries survive crashes — /healthz
-// then reports the store's state under "store". -fsync additionally
-// syncs the WAL on every append (durable against power loss, at a
-// per-request fsync cost; without it a kill loses at most the page
-// cache's tail, never consistency). Without -data-dir the registry is
-// purely in-memory, as before. On SIGINT/SIGTERM the server drains
-// in-flight requests (http.Server.Shutdown), takes a final snapshot,
-// and fsyncs the store before exiting.
+// before the request is acknowledged. The log rotates into bounded
+// segment files (-wal-segment-bytes caps each one), and every
+// -snapshot-every records an incremental snapshot — only the datasets
+// dirty since the previous one — is written by a background worker while
+// requests keep flowing; the covered segments are then deleted. A
+// restart replays snapshot chain + live segments so stored summaries
+// survive crashes — /healthz then reports the store's state under
+// "store". -fsync additionally syncs the WAL on every append (durable
+// against power loss, at a per-request fsync cost; without it a kill
+// loses at most the page cache's tail, never consistency). Without
+// -data-dir the registry is purely in-memory, as before. On
+// SIGINT/SIGTERM the server drains in-flight requests
+// (http.Server.Shutdown), takes a final snapshot (even when automatic
+// snapshots are disabled with a negative -snapshot-every, so the next
+// boot does not replay the whole log), and fsyncs the store before
+// exiting.
 package main
 
 import (
@@ -74,7 +80,8 @@ func main() {
 	queue := flag.Int("queue", 0, "per-shard queue depth in batches (0 = default 8)")
 	wire := flag.Int("wire", 1, "default wire version for summary fetch-backs without an Accept preference (1 = JSON, 2 = binary)")
 	dataDir := flag.String("data-dir", "", "durability directory (WAL + snapshots); empty keeps the registry in-memory")
-	snapshotEvery := flag.Int64("snapshot-every", store.DefaultSnapshotEvery, "WAL records between automatic snapshots (negative disables automatic snapshots); each snapshot dumps the full registry while blocking posts and queries, so small values trade throughput for recovery time on large registries")
+	snapshotEvery := flag.Int64("snapshot-every", store.DefaultSnapshotEvery, "WAL records between automatic snapshots (negative disables automatic snapshots; a final one is still taken at shutdown); snapshots are incremental and written in the background, so posts and queries keep flowing while one runs")
+	segmentBytes := flag.Int64("wal-segment-bytes", store.DefaultSegmentBytes, "size cap of one WAL segment file; the log rotates into a fresh segment past it")
 	fsync := flag.Bool("fsync", false, "fsync the WAL after every accepted summary (durable against power loss)")
 	flag.Parse()
 
@@ -101,18 +108,21 @@ func main() {
 	var st *store.Store
 	if *dataDir != "" {
 		var err error
-		st, err = store.Open(*dataDir, store.Options{SnapshotEvery: *snapshotEvery, Fsync: *fsync}, reg.Put)
+		st, err = store.Open(*dataDir, store.Options{SnapshotEvery: *snapshotEvery, SegmentBytes: *segmentBytes, Fsync: *fsync}, reg.Put)
 		if err != nil {
 			log.Fatalf("summaryd: opening store: %v", err)
 		}
 		// Attach only after Open has replayed: replay goes through reg.Put
-		// too, and must not re-append what the log already holds.
+		// too, and must not re-append what the log already holds. Replay
+		// also marked every recovered dataset dirty; only the ones with
+		// live WAL records actually need the next incremental snapshot.
 		reg.SetPersister(st)
+		reg.MarkClean(st.WALDatasets())
 		opts = append(opts, server.WithStoreStatus(st.Status))
 		status := st.Status()
-		log.Printf("summaryd: recovered %d summaries in %d datasets from %s (snapshot entries=%d, wal records=%d, fsync=%v)",
+		log.Printf("summaryd: recovered %d summaries in %d datasets from %s (snapshot entries=%d, wal records=%d in %d segments, fsync=%v)",
 			status.RecoveredSummaries, status.RecoveredDatasets, *dataDir,
-			status.SnapshotEntries, status.WALRecords, *fsync)
+			status.SnapshotEntries, status.WALRecords, status.WALSegments, *fsync)
 	}
 
 	srv := &http.Server{

@@ -14,11 +14,15 @@ import (
 )
 
 // fakePersister records appends and can be told to fail, to test the
-// registry's persistence contract without disk.
+// registry's persistence contract without disk. Its Snapshot runs the
+// dump and commit synchronously, inline under the registry lock — the
+// most hostile legal schedule for the commit callback, which the
+// Persister contract requires to be safe anywhere.
 type fakePersister struct {
 	appended  []string // "dataset/instance" in append order
 	failNext  error
 	due       bool
+	snapErr   error      // next Snapshot fails (commit(false)) with this
 	snapshots [][]string // dump contents per snapshot call
 }
 
@@ -34,16 +38,24 @@ func (p *fakePersister) Append(ds string, s core.Summary) (bool, error) {
 	return due, nil
 }
 
-func (p *fakePersister) Snapshot(dump func(emit func(string, core.Summary) error) error) error {
+func (p *fakePersister) Snapshot(dump func(emit func(string, core.Summary) error) error, commit func(ok bool), syncWait bool) (func() error, error) {
+	if p.snapErr != nil {
+		err := p.snapErr
+		p.snapErr = nil
+		commit(false)
+		return nil, err
+	}
 	var image []string
 	if err := dump(func(ds string, s core.Summary) error {
 		image = append(image, fmt.Sprintf("%s/%d", ds, s.InstanceID()))
 		return nil
 	}); err != nil {
-		return err
+		commit(false)
+		return nil, err
 	}
 	p.snapshots = append(p.snapshots, image)
-	return nil
+	commit(true)
+	return func() error { return nil }, nil
 }
 
 func persistSummary(instance int) core.Summary {
@@ -218,5 +230,101 @@ func TestRegistrySnapshotEntryPoint(t *testing.T) {
 	}
 	if len(p.snapshots) != 1 || len(p.snapshots[0]) != 1 || p.snapshots[0][0] != "d/0" {
 		t.Fatalf("snapshot dump %v, want [[d/0]]", p.snapshots)
+	}
+}
+
+func snapshotImages(t *testing.T, p *fakePersister) [][]string {
+	t.Helper()
+	return p.snapshots
+}
+
+func TestSnapshotCutsAreIncremental(t *testing.T) {
+	reg := NewRegistry()
+	p := &fakePersister{}
+	reg.SetPersister(p)
+	for _, ds := range []string{"a", "b"} {
+		if err := reg.Put(ds, persistSummary(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First snapshot covers everything.
+	if err := reg.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Only b mutates; the next cut must contain b alone — and it must
+	// contain ALL of b's summaries, not just the new instance, because
+	// chain files supersede by (dataset, instance) entry.
+	if err := reg.Put("b", persistSummary(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing dirty: the cut is empty.
+	if err := reg.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	got := snapshotImages(t, p)
+	want := [][]string{{"a/0", "b/0"}, {"b/0", "b/1"}, nil}
+	if len(got) != len(want) {
+		t.Fatalf("snapshots %v, want %v", got, want)
+	}
+	for i := range want {
+		if fmt.Sprint(got[i]) != fmt.Sprint(want[i]) {
+			t.Fatalf("snapshot %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFailedSnapshotKeepsDatasetsDirty(t *testing.T) {
+	reg := NewRegistry()
+	p := &fakePersister{}
+	reg.SetPersister(p)
+	if err := reg.Put("d", persistSummary(0)); err != nil {
+		t.Fatal(err)
+	}
+	p.snapErr = errors.New("disk full")
+	if err := reg.Snapshot(); err == nil {
+		t.Fatal("snapshot succeeded though the persister failed")
+	}
+	// commit(false) must have left d dirty: the next cut re-covers it.
+	if err := reg.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	got := snapshotImages(t, p)
+	if len(got) != 1 || fmt.Sprint(got[0]) != fmt.Sprint([]string{"d/0"}) {
+		t.Fatalf("snapshots after failed attempt = %v, want [[d/0]]", got)
+	}
+}
+
+func TestMarkCleanScopesFirstIncrementalCut(t *testing.T) {
+	// Recovery replays through Put, marking everything dirty; MarkClean
+	// narrows that to the datasets whose records the WAL still holds.
+	reg := NewRegistry()
+	for _, ds := range []string{"snapped", "walled"} {
+		if err := reg.Put(ds, persistSummary(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := &fakePersister{}
+	reg.SetPersister(p)
+	reg.MarkClean([]string{"walled"})
+	if err := reg.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	got := snapshotImages(t, p)
+	if len(got) != 1 || fmt.Sprint(got[0]) != fmt.Sprint([]string{"walled/0"}) {
+		t.Fatalf("first cut after MarkClean = %v, want [[walled/0]]", got)
+	}
+	// A dataset that mutates after MarkClean is dirty regardless.
+	if err := reg.Put("snapped", persistSummary(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	got = snapshotImages(t, p)
+	if len(got) != 2 || fmt.Sprint(got[1]) != fmt.Sprint([]string{"snapped/0", "snapped/1"}) {
+		t.Fatalf("second cut = %v, want [snapped/0 snapped/1]", got)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/xhash"
@@ -47,33 +48,55 @@ type Registry struct {
 	mu        sync.RWMutex
 	datasets  map[string]*datasetEntry
 	persister Persister
+
+	// Dirty tracking for incremental snapshots. epoch numbers snapshot
+	// cuts: each DumpCut takes the current epoch and increments it, and a
+	// successful Put stamps its dataset with the current epoch. A dataset
+	// is dirty — must appear in the next cut — iff its stamp is at or
+	// above cleanEpoch, which advances to cut+1 only when the snapshot of
+	// cut commits successfully: a failed snapshot leaves every stamp
+	// dirty, so the next cut re-covers it. cleanEpoch is atomic (not under
+	// mu) so a snapshot's commit callback can run anywhere: inline under
+	// the registry lock (a synchronous persister) or on a background
+	// worker (internal/store), without deadlock either way.
+	epoch      int64
+	cleanEpoch atomic.Int64
 }
 
 // Persister hooks registry mutations to durable storage (internal/store
 // implements it). Put calls Append under the registry's write lock for
 // every accepted summary, so the log's record order is exactly the order
 // registrations took effect; when Append reports a snapshot is due, Put
-// immediately passes the persister a dump of the registry taken under
-// that same lock — a consistent cut containing precisely the appended
-// records.
+// immediately hands the persister a consistent cut taken under that same
+// lock — the persister may write it on a background goroutine while
+// registrations continue.
 type Persister interface {
 	// Append durably records one accepted registration. An error fails
 	// (and rolls back) the registration: the registry never acknowledges
 	// state the log did not accept.
 	Append(dataset string, s core.Summary) (snapshotDue bool, err error)
-	// Snapshot durably writes the full image dump yields and supersedes
-	// the log written so far. Callers other than the registry must route
-	// through Registry.Snapshot: it establishes the one legal lock order
-	// (registry lock, then the persister's own). Calling the persister
-	// directly with Registry.Dump as the source inverts that order
-	// against a concurrent Put and can deadlock.
-	Snapshot(dump func(emit func(dataset string, s core.Summary) error) error) error
+	// Snapshot accepts a consistent cut for durable persistence. dump
+	// iterates state captured at the cut and stays valid after the
+	// registry lock is released; the persister may run it later, on
+	// another goroutine. commit(ok) must be called exactly once, when the
+	// snapshot durably completes (ok) or is abandoned (!ok) — it is safe
+	// to call from anywhere, including synchronously from inside Snapshot
+	// (the registry's commit uses only atomics). With syncWait, the
+	// returned wait blocks until the job finishes; the caller must invoke
+	// it AFTER releasing the registry lock (Registry.Snapshot does), or a
+	// background commit could never complete. Callers other than the
+	// registry must route through Registry.Snapshot: it establishes the
+	// one legal lock order (registry lock, then the persister's own).
+	Snapshot(dump func(emit func(dataset string, s core.Summary) error) error, commit func(ok bool), syncWait bool) (wait func() error, err error)
 }
 
 type datasetEntry struct {
 	kind       string
 	seeder     xhash.Seeder
 	byInstance map[int]core.Summary
+	// dirtyEpoch is the registry epoch of the last accepted registration;
+	// the dataset is dirty iff dirtyEpoch >= Registry.cleanEpoch.
+	dirtyEpoch int64
 }
 
 // NewRegistry returns an empty registry.
@@ -146,32 +169,140 @@ func (r *Registry) Put(dataset string, s core.Summary) error {
 			}
 			return fmt.Errorf("server: persisting summary for dataset %q: %w", dataset, err)
 		}
+		e.dirtyEpoch = r.epoch
 		if due {
-			// Snapshot under the lock already held: the dump is a consistent
-			// cut matching the WAL position exactly. A snapshot failure is
-			// deliberately not a Put failure — the record above IS durable in
-			// the WAL; the store surfaces the error in its status and backs
-			// off a full interval before the next automatic attempt.
-			_ = r.persister.Snapshot(r.dumpLocked)
+			// Cut under the lock already held: the cut is consistent with
+			// the WAL position exactly, and because every cut is enqueued
+			// under this lock, the persister sees cuts in order. The write
+			// itself happens on the persister's background worker — Put
+			// does not wait. A snapshot failure is deliberately not a Put
+			// failure: the record above IS durable in the WAL; the store
+			// surfaces the error in its status and backs off a full
+			// interval before the next automatic attempt.
+			dump, commit := r.dumpCutLocked()
+			_, _ = r.persister.Snapshot(dump, commit, false)
 		}
+	} else {
+		e.dirtyEpoch = r.epoch
 	}
 	return nil
 }
 
-// Snapshot writes the registry's full image through the attached
-// persister (a no-op without one). It is the one safe entry point for
-// explicit snapshots — summaryd's shutdown path, a future admin trigger
-// — because it takes the registry lock BEFORE the persister's, the same
-// order Put establishes; calling the persister directly with Dump as
-// the source would take the locks in the opposite order and deadlock
-// against a concurrent Put.
+// Snapshot takes an incremental cut of the registry and writes it
+// through the attached persister (a no-op without one), waiting for the
+// write to complete. It is the one safe entry point for explicit
+// snapshots — summaryd's shutdown path, a future admin trigger — because
+// it takes the registry lock BEFORE the persister's, the same order Put
+// establishes, and releases it before waiting, so the persister's
+// background commit can re-enter the registry.
 func (r *Registry) Snapshot() error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.persister == nil {
+		r.mu.Unlock()
 		return nil
 	}
-	return r.persister.Snapshot(r.dumpLocked)
+	dump, commit := r.dumpCutLocked()
+	wait, err := r.persister.Snapshot(dump, commit, true)
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if wait != nil {
+		return wait()
+	}
+	return nil
+}
+
+// DumpCut takes a consistent incremental cut: a dump over exactly the
+// datasets dirty since the last committed snapshot, plus the commit
+// callback that marks them clean. The cut is captured under a brief
+// write lock — registered summaries are immutable, so capturing
+// references is enough — and the returned dump runs lock-free, which is
+// what lets a persister write it in the background while registrations
+// continue.
+func (r *Registry) DumpCut() (dump func(emit func(dataset string, s core.Summary) error) error, commit func(ok bool)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dumpCutLocked()
+}
+
+// dumpCutLocked is DumpCut for callers already holding the write lock.
+func (r *Registry) dumpCutLocked() (dump func(emit func(dataset string, s core.Summary) error) error, commit func(ok bool)) {
+	cutEpoch := r.epoch
+	r.epoch++
+	clean := r.cleanEpoch.Load()
+	type cutEntry struct {
+		dataset string
+		s       core.Summary
+	}
+	var cut []cutEntry
+	names := make([]string, 0, len(r.datasets))
+	for name, e := range r.datasets {
+		if e.dirtyEpoch >= clean {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := r.datasets[name]
+		ids := make([]int, 0, len(e.byInstance))
+		for id := range e.byInstance {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			cut = append(cut, cutEntry{dataset: name, s: e.byInstance[id]})
+		}
+	}
+	dump = func(emit func(dataset string, s core.Summary) error) error {
+		for _, en := range cut {
+			if err := emit(en.dataset, en.s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var once sync.Once
+	commit = func(ok bool) {
+		once.Do(func() {
+			if !ok {
+				// Leave every stamp dirty: the next cut re-covers this one.
+				return
+			}
+			// Registrations accepted since the cut carry epoch >= cutEpoch+1,
+			// so they stay dirty; everything the cut captured becomes clean.
+			// Monotone max — a late-arriving older commit never regresses a
+			// newer one (the store's FIFO worker already guarantees order;
+			// this keeps the registry safe against any persister).
+			for {
+				cur := r.cleanEpoch.Load()
+				if cur >= cutEpoch+1 || r.cleanEpoch.CompareAndSwap(cur, cutEpoch+1) {
+					return
+				}
+			}
+		})
+	}
+	return dump, commit
+}
+
+// MarkClean resets dirty tracking after recovery: every dataset becomes
+// clean except those named — for a store-backed registry, the datasets
+// with records still in the WAL (store.WALDatasets), which the snapshot
+// chain does not fully cover. Without this, the first incremental
+// snapshot after a restart would be a full one: recovery replays through
+// Put, which marks everything dirty.
+func (r *Registry) MarkClean(stillDirty []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	clean := r.cleanEpoch.Load()
+	for _, e := range r.datasets {
+		e.dirtyEpoch = clean - 1
+	}
+	for _, name := range stillDirty {
+		if e, ok := r.datasets[name]; ok {
+			e.dirtyEpoch = clean
+		}
+	}
 }
 
 // Dump iterates every stored (dataset, summary) in deterministic order —

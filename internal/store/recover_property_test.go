@@ -12,32 +12,41 @@ import (
 
 // TestCrashRecoveryProperty is the subsystem's central contract: for
 // random interleavings of posts and ingest results (modeled as registry
-// Puts — both HTTP paths reduce to Put), recovery from (snapshot + WAL)
-// is bit-for-bit the in-memory registry, and recovery after truncating
-// the WAL at an ARBITRARY byte offset is bit-for-bit the registry built
-// from the longest valid record prefix.
+// Puts — both HTTP paths reduce to Put) with mid-run incremental
+// snapshots and segment rotations, recovery from (snapshot chain +
+// segments) is bit-for-bit the in-memory registry, and recovery after
+// truncating the FINAL segment at an ARBITRARY byte offset is
+// bit-for-bit the registry built from the longest valid record prefix.
+// Truncation anywhere in a SEALED segment, by contrast, must hard-error:
+// sealed segments were fsynced before the manifest retained them, so a
+// tear there is lost acknowledged data, not a crash artifact.
 //
 // The expected state is computed from a test-side shadow model — never
-// from the store's own reader — so the check cannot be circular: the
-// shadow tracks each record's end offset as reported by Status, and a
-// truncation at X is expected to keep exactly the records that end at or
-// before X.
+// from the store's own reader — so the check cannot be circular. Every
+// append records a mark {segment seq, end offset in that segment, shadow
+// clone after the append}. Because snapshots cut at rotation points and
+// segments replay in order, the state recovered after truncating the
+// final segment (seq L) at offset X is the shadow of the LAST mark with
+// seq < L, or seq == L and end <= X — no matter how many chain files and
+// sealed segments sit underneath.
 func TestCrashRecoveryProperty(t *testing.T) {
 	for trial := 0; trial < 6; trial++ {
 		rng := rand.New(rand.NewSource(int64(100 + trial)))
 		dir := t.TempDir()
-		reg, st := reopen(t, dir, Options{SnapshotEvery: 5})
+		// Tiny segments force rotations; automatic snapshots off so the
+		// mid-run snapshots below are the only, deterministic, cuts.
+		reg, st := reopen(t, dir, Options{SnapshotEvery: -1, SegmentRecords: 3})
 
-		type walRec struct {
-			end int64 // absolute file offset where the record ends
-			ds  string
-			sum core.Summary
+		type mark struct {
+			seq   int64 // segment holding the record
+			end   int64 // offset in that segment where the record ends
+			state shadow
 		}
-		full := make(shadow) // the in-memory registry, modeled
-		var snapState shadow // shadow at the last snapshot (nil = none)
-		var walLog []walRec  // records currently in the WAL, in order
+		full := make(shadow)
+		var marks []mark
 
 		ops := 15 + rng.Intn(25)
+		snapAt := map[int]bool{ops / 3: true, (2 * ops) / 3: true}
 		for i := 0; i < ops; i++ {
 			spec := specs[rng.Intn(len(specs))]
 			sum := randomSummary(rng, spec)
@@ -45,59 +54,58 @@ func TestCrashRecoveryProperty(t *testing.T) {
 				t.Fatalf("trial %d op %d: put: %v", trial, i, err)
 			}
 			full.put(spec.name, sum)
-			status := st.Status()
-			if status.WALRecords == 0 {
-				// The put tripped an automatic snapshot: the full state —
-				// including this record — moved into the snapshot and the
-				// WAL restarted.
-				snapState = full.clone()
-				walLog = nil
-			} else {
-				walLog = append(walLog, walRec{
-					end: magicLen + status.WALBytes,
-					ds:  spec.name,
-					sum: sum,
-				})
+			st.mu.Lock()
+			marks = append(marks, mark{seq: st.live.seq, end: st.live.w.end, state: full.clone()})
+			st.mu.Unlock()
+			if snapAt[i] {
+				if err := reg.Snapshot(); err != nil {
+					t.Fatalf("trial %d op %d: snapshot: %v", trial, i, err)
+				}
 			}
 		}
 		if err := st.Close(); err != nil {
 			t.Fatalf("trial %d: close: %v", trial, err)
 		}
 
-		// The full log replays to the full state.
+		// The untouched directory replays to the full state.
 		reg2, st2 := reopen(t, dir, Options{})
 		mustMatch(t, "full replay", image(t, reg2.Dump), image(t, full.dump))
 		st2.Close()
 
-		// Truncate the WAL at arbitrary byte offsets — record boundaries,
-		// mid-header, mid-payload, inside the file magic — and check the
-		// recovered registry against the longest-valid-prefix expectation.
-		walPath := filepath.Join(dir, walName)
-		walBytes, err := os.ReadFile(walPath)
-		if err != nil {
-			t.Fatalf("trial %d: reading WAL: %v", trial, err)
+		first, last, ok, err := readManifest(dir)
+		if err != nil || !ok {
+			t.Fatalf("trial %d: manifest: ok=%v err=%v", trial, ok, err)
 		}
-		offsets := []int64{0, 3, magicLen, int64(len(walBytes))}
-		for _, r := range walLog {
-			offsets = append(offsets, r.end, r.end-1, r.end+3)
+
+		// Truncate the final segment at arbitrary byte offsets — record
+		// boundaries, mid-header, mid-payload, inside the file magic, even
+		// zero — and check the recovered registry against the
+		// longest-valid-prefix expectation.
+		livePath := filepath.Join(dir, segmentName(last))
+		liveBytes, err := os.ReadFile(livePath)
+		if err != nil {
+			t.Fatalf("trial %d: reading final segment: %v", trial, err)
+		}
+		offsets := []int64{0, 3, magicLen, int64(len(liveBytes))}
+		for _, m := range marks {
+			if m.seq == last {
+				offsets = append(offsets, m.end, m.end-1, m.end+3)
+			}
 		}
 		for k := 0; k < 8; k++ {
-			offsets = append(offsets, int64(rng.Intn(len(walBytes)+1)))
+			offsets = append(offsets, int64(rng.Intn(len(liveBytes)+1)))
 		}
 		for _, x := range offsets {
-			if x < 0 || x > int64(len(walBytes)) {
+			if x < 0 || x > int64(len(liveBytes)) {
 				continue
 			}
-			if err := os.WriteFile(walPath, walBytes[:x], 0o644); err != nil {
+			if err := os.WriteFile(livePath, liveBytes[:x], 0o644); err != nil {
 				t.Fatal(err)
 			}
 			expected := make(shadow)
-			if snapState != nil {
-				expected = snapState.clone()
-			}
-			for _, r := range walLog {
-				if r.end <= x {
-					expected.put(r.ds, r.sum)
+			for _, m := range marks {
+				if m.seq < last || (m.seq == last && m.end <= x) {
+					expected = m.state
 				}
 			}
 			regT := server.NewRegistry()
@@ -132,6 +140,23 @@ func TestCrashRecoveryProperty(t *testing.T) {
 				t.Fatal(err)
 			}
 			stT.Close()
+		}
+
+		// Restore the final segment, then tear a SEALED retained segment:
+		// recovery must refuse outright rather than quietly truncate.
+		if err := os.WriteFile(livePath, liveBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if first < last {
+			sealedPath := filepath.Join(dir, segmentName(first))
+			size := fileSize(t, sealedPath)
+			if err := os.Truncate(sealedPath, size-2); err != nil {
+				t.Fatal(err)
+			}
+			regT := server.NewRegistry()
+			if _, err := Open(dir, Options{}, regT.Put); err == nil {
+				t.Fatalf("trial %d: Open silently accepted a torn sealed segment", trial)
+			}
 		}
 	}
 }

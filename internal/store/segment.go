@@ -7,14 +7,16 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/pkg/api"
 )
 
-// The durable record framing, shared by the write-ahead log and the
-// snapshot body. One record carries one accepted (dataset, summary)
-// registration:
+// The durable record framing, shared by WAL segments and snapshot chain
+// files. One record carries one accepted (dataset, summary) registration:
 //
 //	offset  size  field
 //	0       4     payload length N, uint32 little-endian
@@ -27,10 +29,13 @@ import (
 // The length lives outside the checksum so a torn tail is detected
 // structurally (length runs past the file) as well as by CRC; a record
 // whose CRC fails, whose length is zero or absurd, or whose payload does
-// not decode ends WAL replay at the previous record — the longest valid
-// prefix is the recovered state. Appends patch the header in after the
-// payload bytes are on disk, so a crash mid-append leaves a zero length
-// (an invalid record) rather than a frame that lies about its extent.
+// not decode ends replay of the FINAL segment at the previous record —
+// the longest valid prefix is the recovered state. Appends patch the
+// header in after the payload bytes are on disk, so a crash mid-append
+// leaves a zero length (an invalid record) rather than a frame that lies
+// about its extent. Sealed (non-final) segments were fsynced whole before
+// the manifest demoted them from live duty, so they have no legitimate
+// torn state: any invalid record there is a hard error.
 
 const (
 	// recordHeaderLen is the framing overhead per record.
@@ -53,16 +58,120 @@ const (
 	maxDatasetName = api.MaxDatasetName
 )
 
-// File headers. Both files open with a 5-byte ASCII magic naming the
+// File headers. Every file opens with a 5-byte ASCII magic naming the
 // format and its version, so a foreign or future file fails loudly
-// instead of replaying as garbage.
+// instead of replaying as garbage. Segments keep the magic the pre-
+// segmented single-file WAL used, which is what lets a legacy "wal" file
+// migrate into the segmented layout by rename alone.
 const (
-	walMagic  = "CWAL1"
+	segMagic  = "CWAL1"
 	snapMagic = "CSNP1"
 	magicLen  = 5
 )
 
+// Default segment rotation caps (Options.SegmentBytes/SegmentRecords).
+const (
+	DefaultSegmentBytes   = 64 << 20
+	DefaultSegmentRecords = 1 << 16
+)
+
+// Legacy (pre-segmented) file names, migrated or quarantined at Open.
+const (
+	legacyWALName      = "wal"
+	legacySnapshotName = "snapshot"
+)
+
+// quarantineDir is where Open moves files it cannot account for —
+// out-of-manifest segments, unparsable segment/snapshot names, legacy
+// files that should not exist alongside the segmented layout. Moving
+// (not deleting) keeps the bytes for forensics; moving (not replaying)
+// keeps unaccounted records from resurrecting state the manifest never
+// acknowledged.
+const quarantineDir = "quarantine"
+
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// segmentName names WAL segment seq. The zero-padding keeps lexical and
+// numeric order aligned for the first million segments; parsing, not
+// globbing order, is authoritative beyond that.
+func segmentName(seq int64) string {
+	return fmt.Sprintf("wal-%06d.seg", seq)
+}
+
+// parseSegmentSeq extracts the sequence number from a segment file name.
+func parseSegmentSeq(name string) (int64, bool) {
+	body, ok := strings.CutPrefix(name, "wal-")
+	if !ok {
+		return 0, false
+	}
+	body, ok = strings.CutSuffix(body, ".seg")
+	if !ok || body == "" {
+		return 0, false
+	}
+	for i := 0; i < len(body); i++ {
+		if body[i] < '0' || body[i] > '9' {
+			return 0, false
+		}
+	}
+	seq, err := strconv.ParseInt(body, 10, 64)
+	if err != nil || seq < 1 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// segment is one open WAL segment file. The store holds exactly one —
+// the live segment, the only one accepting appends; sealed segments are
+// closed files named by the manifest.
+type segment struct {
+	seq     int64
+	path    string
+	f       *os.File
+	w       *recordWriter
+	records int64
+}
+
+// createSegment creates a fresh segment file: magic written and fsynced
+// before anything can reference it, so a manifest that names the segment
+// always finds a well-formed (if empty) file.
+func createSegment(dir string, codec core.Codec, seq int64) (*segment, error) {
+	path := filepath.Join(dir, segmentName(seq))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating WAL segment %d: %w", seq, err)
+	}
+	if _, err := f.WriteString(segMagic); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("store: writing WAL segment %d header: %w", seq, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("store: syncing new WAL segment %d: %w", seq, err)
+	}
+	return &segment{seq: seq, path: path, f: f, w: newRecordWriter(f, codec, magicLen), records: 0}, nil
+}
+
+// scanSegments lists the segment sequence numbers present in dir, plus
+// any file names that look segment-ish ("wal-*.seg") but do not parse —
+// the caller quarantines those.
+func scanSegments(dir string) (seqs []int64, malformed []string, err error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: scanning WAL segments: %w", err)
+	}
+	for _, m := range matches {
+		name := filepath.Base(m)
+		seq, ok := parseSegmentSeq(name)
+		if !ok {
+			malformed = append(malformed, name)
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	return seqs, malformed, nil
+}
 
 // payloadWriter writes a record payload at a fixed file position,
 // accumulating the CRC and length the header needs. It writes with
@@ -83,8 +192,8 @@ func (p *payloadWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
-// recordWriter appends framed records to a file. The WAL holds one for
-// its lifetime; each snapshot creates one for its temp file.
+// recordWriter appends framed records to a file. The live segment holds
+// one for its lifetime; each snapshot creates one for its temp file.
 type recordWriter struct {
 	f     *os.File
 	bw    *bufio.Writer
@@ -144,13 +253,14 @@ func (w *recordWriter) append(dataset string, s core.Summary) error {
 
 // readRecords scans framed records from r, which is positioned just past
 // the file header, and applies each decoded (dataset, summary). size is
-// the remaining byte count. In strict mode (snapshots, which are written
-// atomically and must be wholly intact) any invalid record is an error.
-// In lax mode (the WAL, whose tail a crash may tear) scanning stops at
-// the first STRUCTURALLY invalid record — short frame, zero/absurd
-// length, CRC mismatch — with a nil error: records reports how many
-// valid records were applied and validBytes the length of the valid
-// prefix, which the caller truncates to.
+// the remaining byte count. In strict mode (snapshot chain files, written
+// atomically, and sealed segments, fsynced before the manifest demoted
+// them) any invalid record is an error. In lax mode (the FINAL segment,
+// whose tail a crash may tear) scanning stops at the first STRUCTURALLY
+// invalid record — short frame, zero/absurd length, CRC mismatch — with a
+// nil error: records reports how many valid records were applied and
+// validBytes the length of the valid prefix, which the caller truncates
+// to.
 //
 // A payload that passes its CRC but fails to parse is a hard error in
 // BOTH modes: the patch-header-last append discipline guarantees a torn

@@ -5,34 +5,97 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 )
 
-// A snapshot is the full registry image at one WAL cut: the snapshot
-// file header followed by one framed record (wal.go) per stored
-// (dataset, summary), datasets sorted by name and instances ascending so
-// equal registries snapshot to equal bytes. Snapshots are written
-// atomically — temp file in the same directory, fsync, rename — so the
-// file named "snapshot" is always a complete image: a crash at any point
-// of snapshotting leaves either the previous snapshot or the new one,
-// never a truncated hybrid. Replay is therefore strict; tolerance for
-// torn tails belongs to the WAL alone.
+// Snapshots form a numbered chain: snap-000001.snap, snap-000002.snap, …
+// Each file holds one framed record (segment.go framing) per (dataset,
+// summary) that was DIRTY at its cut — mutated since the previous
+// successful snapshot — datasets sorted by name and instances ascending,
+// so equal cuts snapshot to equal bytes. Replaying the chain in sequence
+// order, later entries replacing earlier ones, reconstructs the full
+// registry image at the newest cut; WAL segments then replay on top.
+//
+// Every file is written atomically — temp file in the same directory,
+// fsync, rename, directory fsync — so a chain file is always a complete
+// image: a crash mid-snapshot leaves the previous chain, never a
+// truncated hybrid. Replay is therefore strict; tolerance for torn tails
+// belongs to the final WAL segment alone.
+//
+// The chain is compacted — merged into a single full file — at Open, and
+// by the background writer whenever it would grow past maxSnapshotChain,
+// so recovery replays a bounded number of files no matter how long the
+// process ran.
 
 const (
-	snapshotName = "snapshot"
-	walName      = "wal"
-	// snapshotTempPattern names in-flight snapshot temp files. Open
-	// removes strays matching it — the residue of a crash mid-snapshot.
-	snapshotTempPattern = "snapshot-*.tmp"
+	// maxSnapshotChain bounds the chain length: a snapshot that would be
+	// chain file maxSnapshotChain+1 is written as a full merge instead.
+	maxSnapshotChain = 8
+	// snapshotTempPattern names in-flight snapshot temp files; Open
+	// removes strays matching it (or the legacy pattern) — the residue of
+	// a crash mid-snapshot.
+	snapshotTempPattern       = "snap-*.tmp"
+	legacySnapshotTempPattern = "snapshot-*.tmp"
 )
 
-// writeSnapshotTemp streams a full image from dump into a fresh temp file
-// in dir and returns its path, fsynced and closed but NOT yet promoted to
-// the live snapshot name. Splitting the write from the promotion keeps
-// the crash window explicit (and testable): until promoteSnapshot's
-// rename, the previous snapshot is untouched.
+// snapName names snapshot chain file seq.
+func snapName(seq int64) string {
+	return fmt.Sprintf("snap-%06d.snap", seq)
+}
+
+// parseSnapSeq extracts the sequence number from a chain file name.
+func parseSnapSeq(name string) (int64, bool) {
+	body, ok := strings.CutPrefix(name, "snap-")
+	if !ok {
+		return 0, false
+	}
+	body, ok = strings.CutSuffix(body, ".snap")
+	if !ok || body == "" {
+		return 0, false
+	}
+	for i := 0; i < len(body); i++ {
+		if body[i] < '0' || body[i] > '9' {
+			return 0, false
+		}
+	}
+	seq, err := strconv.ParseInt(body, 10, 64)
+	if err != nil || seq < 1 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// scanSnapshots lists the chain file sequence numbers in dir (ascending),
+// plus any "snap-*.snap"-shaped names that do not parse, for quarantine.
+func scanSnapshots(dir string) (seqs []int64, malformed []string, err error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: scanning snapshots: %w", err)
+	}
+	for _, m := range matches {
+		name := filepath.Base(m)
+		seq, ok := parseSnapSeq(name)
+		if !ok {
+			malformed = append(malformed, name)
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, malformed, nil
+}
+
+// writeSnapshotTemp streams the image dump yields into a fresh temp file
+// in dir and returns its path, fsynced and closed but NOT yet promoted
+// into the chain. Splitting the write from the promotion keeps the crash
+// window explicit (and testable): until promoteSnapshot's rename, the
+// existing chain is untouched.
 func writeSnapshotTemp(dir string, codec core.Codec, dump func(emit func(dataset string, s core.Summary) error) error) (path string, entries int64, err error) {
 	tmp, err := os.CreateTemp(dir, snapshotTempPattern)
 	if err != nil {
@@ -54,6 +117,15 @@ func writeSnapshotTemp(dir string, codec core.Codec, dump func(emit func(dataset
 			return err
 		}
 		entries++
+		// The writer is a background, latency-insensitive goroutine; the
+		// appends it runs beside are not. Yielding between records keeps
+		// the serving path's scheduling delay at a record's encode time
+		// instead of the runtime's ~10ms forced-preemption quantum — which
+		// is what appends would see on small machines during a large
+		// snapshot encode.
+		if entries%64 == 0 {
+			runtime.Gosched()
+		}
 		return nil
 	}); err != nil {
 		return "", 0, err
@@ -67,11 +139,11 @@ func writeSnapshotTemp(dir string, codec core.Codec, dump func(emit func(dataset
 	return path, entries, nil
 }
 
-// promoteSnapshot atomically replaces the live snapshot with the temp
-// file and fsyncs the directory so the rename itself is durable.
-func promoteSnapshot(dir, tmpPath string) error {
-	if err := os.Rename(tmpPath, filepath.Join(dir, snapshotName)); err != nil {
-		return fmt.Errorf("store: promoting snapshot: %w", err)
+// promoteSnapshot atomically adds the temp file to the chain as file seq
+// and fsyncs the directory so the rename itself is durable.
+func promoteSnapshot(dir, tmpPath string, seq int64) error {
+	if err := os.Rename(tmpPath, filepath.Join(dir, snapName(seq))); err != nil {
+		return fmt.Errorf("store: promoting snapshot %d: %w", seq, err)
 	}
 	return syncDir(dir)
 }
@@ -89,27 +161,24 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// readSnapshot replays the live snapshot, if one exists, applying every
-// entry. It returns the entry count and the snapshot's modification time
-// (the zero time when no snapshot exists). Snapshot corruption is an
-// error: an atomically renamed file has no legitimate torn state.
-func readSnapshot(dir string, apply func(dataset string, s core.Summary) error) (entries int64, taken time.Time, err error) {
-	path := filepath.Join(dir, snapshotName)
+// readSnapshotFile strictly replays one chain file, applying every entry.
+// It returns the entry count and the file's modification time. Snapshot
+// corruption is an error: an atomically renamed file has no legitimate
+// torn state.
+func readSnapshotFile(dir string, seq int64, apply func(dataset string, s core.Summary) error) (entries int64, taken time.Time, err error) {
+	path := filepath.Join(dir, snapName(seq))
 	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return 0, time.Time{}, nil
-	}
 	if err != nil {
-		return 0, time.Time{}, fmt.Errorf("store: opening snapshot: %w", err)
+		return 0, time.Time{}, fmt.Errorf("store: opening snapshot %d: %w", seq, err)
 	}
 	defer f.Close()
 	info, err := f.Stat()
 	if err != nil {
-		return 0, time.Time{}, fmt.Errorf("store: snapshot stat: %w", err)
+		return 0, time.Time{}, fmt.Errorf("store: snapshot %d stat: %w", seq, err)
 	}
-	if err := checkMagic(f, snapMagic, "snapshot"); err != nil {
+	if err := checkMagic(f, snapMagic, fmt.Sprintf("snapshot %d", seq)); err != nil {
 		if info.Size() == 0 {
-			return 0, time.Time{}, fmt.Errorf("store: snapshot is empty (was it created by hand?): %w", err)
+			return 0, time.Time{}, fmt.Errorf("store: snapshot %d is empty (was it created by hand?): %w", seq, err)
 		}
 		return 0, time.Time{}, err
 	}
@@ -120,15 +189,48 @@ func readSnapshot(dir string, apply func(dataset string, s core.Summary) error) 
 	return entries, info.ModTime(), nil
 }
 
-// removeStrayTemps deletes leftover snapshot temp files — the residue of
-// a crash between temp-file write and rename. The live snapshot is
-// untouched; the interrupted image is simply discarded.
-func removeStrayTemps(dir string) {
-	strays, err := filepath.Glob(filepath.Join(dir, snapshotTempPattern))
-	if err != nil {
-		return
+// instanceKey identifies one summary slot for chain merging.
+type instanceKey struct {
+	dataset  string
+	instance int
+}
+
+// sortedMergeDump renders a merged chain image as a deterministic dump:
+// datasets by name, instances ascending — the same order a registry cut
+// uses, so a compacted chain and a fresh full snapshot of equal state are
+// byte-identical.
+func sortedMergeDump(merged map[instanceKey]core.Summary) func(emit func(dataset string, s core.Summary) error) error {
+	keys := make([]instanceKey, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
 	}
-	for _, s := range strays {
-		os.Remove(s)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dataset != keys[j].dataset {
+			return keys[i].dataset < keys[j].dataset
+		}
+		return keys[i].instance < keys[j].instance
+	})
+	return func(emit func(dataset string, s core.Summary) error) error {
+		for _, k := range keys {
+			if err := emit(k.dataset, merged[k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// removeStrayTemps deletes leftover snapshot and manifest temp files —
+// the residue of a crash between temp-file write and rename. Promoted
+// files are untouched; the interrupted writes are simply discarded.
+func removeStrayTemps(dir string) {
+	for _, pattern := range []string{snapshotTempPattern, legacySnapshotTempPattern, manifestTempPattern} {
+		strays, err := filepath.Glob(filepath.Join(dir, pattern))
+		if err != nil {
+			continue
+		}
+		for _, s := range strays {
+			os.Remove(s)
+		}
 	}
 }

@@ -1,32 +1,48 @@
-// Package store is the summary server's durability subsystem: an
-// append-only write-ahead log plus periodic full snapshots, both carrying
-// (dataset, summary) records whose payloads are the deterministic v2
-// binary wire format (internal/core codecv2).
+// Package store is the summary server's durability subsystem: a
+// write-ahead log rotated into bounded, numbered segment files plus an
+// incremental snapshot chain, all carrying (dataset, summary) records
+// whose payloads are the deterministic v2 binary wire format
+// (internal/core codecv2).
 //
 // The contract with the registry (internal/server.Registry via its
 // Persister hook):
 //
-//   - every accepted registration is appended to the WAL before the
-//     request is acknowledged — the WAL is the source of truth between
-//     snapshots;
-//   - every SnapshotEvery appends, the full registry image is written
-//     atomically (temp file + fsync + rename) and the WAL is truncated —
-//     recovery cost stays bounded by the snapshot interval, not uptime;
-//   - Open replays snapshot then WAL into the caller's registry,
-//     tolerating a torn final WAL record (a crash mid-append): the
-//     recovered state is the longest valid record prefix, exactly the
-//     registrations that were previously acknowledged durable.
+//   - every accepted registration is appended to the live WAL segment
+//     before the request is acknowledged — the segments named by the
+//     MANIFEST are the source of truth between snapshots;
+//   - the live segment rotates once it reaches Options.SegmentBytes /
+//     SegmentRecords: it is fsynced, sealed, and a fresh segment takes
+//     over, so no single file grows with uptime;
+//   - snapshots run in the BACKGROUND: the registry hands Snapshot a
+//     consistent cut (cloned under its lock — the only moment the request
+//     path pauses) and a single worker goroutine writes it to the next
+//     snapshot chain file while appends continue into the live segment.
+//     Only datasets dirty since the previous successful snapshot are
+//     written (the chain is compacted at Open and whenever it would grow
+//     past maxSnapshotChain), and only sealed segments older than the cut
+//     are deleted — recovery cost stays bounded by the snapshot interval
+//     plus the live segments, not uptime;
+//   - Open replays the snapshot chain then the live segments into the
+//     caller's registry. Sealed segments and chain files have no
+//     legitimate torn state (both are made durable before anything
+//     references them) and hard-error on any invalid record; only the
+//     FINAL segment tolerates a torn tail (a crash mid-append), recovering
+//     its longest valid record prefix — exactly the registrations that
+//     were previously acknowledged durable. Files the manifest cannot
+//     account for are quarantined, never silently replayed or deleted.
 //
 // Replay is idempotent: a record re-applied after an ill-timed crash
-// between snapshot promotion and WAL truncation replaces a (dataset,
+// between snapshot promotion and segment deletion replaces a (dataset,
 // instance) entry with the identical summary, so every crash point
 // converges to the same recovered registry.
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -46,15 +62,42 @@ type Options struct {
 	// snapshots (Snapshot can still be called explicitly, e.g. at
 	// shutdown).
 	SnapshotEvery int64
-	// Fsync syncs the WAL file after every append, making each
+	// Fsync syncs the live segment after every append, making each
 	// acknowledgment durable against power loss, not just process death.
 	// Off, the OS flushes at its leisure — crash-consistent (replay never
 	// sees a half-state) but the tail may be lost with the page cache.
 	Fsync bool
+	// SegmentBytes caps a live segment's file size: the next append after
+	// the cap is reached goes to a fresh segment. Zero means
+	// DefaultSegmentBytes. A segment may overshoot by at most one record.
+	SegmentBytes int64
+	// SegmentRecords caps a live segment's record count. Zero means
+	// DefaultSegmentRecords.
+	SegmentRecords int64
 }
 
-// Store is an open durability directory: a WAL accepting appends and the
-// snapshot machinery around it. Methods are safe for concurrent use; the
+// segMeta describes one sealed segment the store still retains: it holds
+// records newer than the last snapshot cut and will be deleted once a
+// snapshot covers it.
+type segMeta struct {
+	seq     int64
+	records int64
+	bytes   int64
+}
+
+// snapJob is one queued snapshot: a consistent cut the registry cloned
+// under its lock, destined for the next chain file. cut is the highest
+// sealed segment sequence the dump covers.
+type snapJob struct {
+	cut    int64
+	dump   func(emit func(dataset string, s core.Summary) error) error
+	commit func(ok bool)
+	done   chan error
+}
+
+// Store is an open durability directory: a live WAL segment accepting
+// appends, the sealed segments behind it, the snapshot chain, and the
+// background snapshot worker. Methods are safe for concurrent use; the
 // registry additionally serializes Append calls under its own lock, which
 // is what makes WAL order identical to registry apply order.
 type Store struct {
@@ -65,29 +108,50 @@ type Store struct {
 	mu     sync.Mutex
 	closed bool
 	lock   *os.File
-	wal    *os.File
-	w      *recordWriter
+	live   *segment
+	first  int64     // first live segment named by the manifest
+	sealed []segMeta // sealed, not-yet-snapshotted segments, ascending seq
 
-	walRecords    int64
 	sinceSnapshot int64
+	snapSeqs      []int64 // snapshot chain, ascending seq
 	snapEntries   int64
 	lastSnapshot  time.Time
 	lastSnapErr   string
+	quarantined   int
 
 	recoveredDatasets  int
 	recoveredSummaries int64
+	walDatasets        []string
+
+	// Background snapshot worker state, guarded by mu; snapCond signals
+	// the worker when snapQ grows or the store closes.
+	snapCond *sync.Cond
+	snapQ    []*snapJob
+	pending  int // queued + in-flight snapshot jobs
+	wg       sync.WaitGroup
 }
 
 // Open opens (creating if needed) the durability directory and replays
-// its state — snapshot first, then the WAL's longest valid record prefix
-// — through apply, in the exact order the records were accepted. The WAL
-// is truncated to its valid prefix so a torn tail never lingers. apply is
-// typically Registry.Put on a fresh registry; attach the store as the
-// registry's persister only after Open returns, so replay does not
-// re-append what the log already holds.
+// its state — snapshot chain first, then the WAL segments in sequence
+// order — through apply, converging on exactly the previously
+// acknowledged registrations. A pre-segmented directory (single "wal" /
+// "snapshot" files) is migrated in place. apply is typically Registry.Put
+// on a fresh registry; attach the store as the registry's persister only
+// after Open returns, so replay does not re-append what the log already
+// holds, and pass WALDatasets to Registry.MarkClean so the first
+// incremental snapshot covers exactly the un-snapshotted datasets.
 func Open(dir string, opts Options, apply func(dataset string, s core.Summary) error) (st *Store, err error) {
 	if opts.SnapshotEvery == 0 {
 		opts.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if opts.SegmentBytes == 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.SegmentRecords == 0 {
+		opts.SegmentRecords = DefaultSegmentRecords
+	}
+	if opts.SegmentBytes < 1 || opts.SegmentRecords < 1 {
+		return nil, fmt.Errorf("store: segment caps must be positive (bytes %d, records %d)", opts.SegmentBytes, opts.SegmentRecords)
 	}
 	codec, err := core.CodecByVersion(2)
 	if err != nil {
@@ -98,8 +162,8 @@ func Open(dir string, opts Options, apply func(dataset string, s core.Summary) e
 	}
 	// One owner per directory, enforced with flock (lock_unix.go; non-Unix
 	// platforms compile with a no-op fallback). Two stores appending to
-	// one WAL would interleave WriteAts at overlapping offsets and corrupt
-	// acknowledged records.
+	// one live segment would interleave WriteAts at overlapping offsets
+	// and corrupt acknowledged records.
 	lock, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: opening lock file: %w", err)
@@ -119,10 +183,16 @@ func Open(dir string, opts Options, apply func(dataset string, s core.Summary) e
 	removeStrayTemps(dir)
 
 	s := &Store{dir: dir, opts: opts, codec: codec, lock: lock}
+	s.snapCond = sync.NewCond(&s.mu)
+
+	if err := s.migrateLegacy(); err != nil {
+		return nil, err
+	}
+
 	// Count distinct (dataset, instance) summaries, not replayed records:
-	// after a crash between snapshot promotion and WAL truncation the WAL
-	// re-plays records the snapshot already holds (idempotently), and the
-	// recovery report must describe the recovered registry, not the
+	// after a crash between snapshot promotion and segment deletion the
+	// segments re-play records the chain already holds (idempotently), and
+	// the recovery report must describe the recovered registry, not the
 	// replay's work.
 	type instance struct {
 		dataset string
@@ -139,50 +209,279 @@ func Open(dir string, opts Options, apply func(dataset string, s core.Summary) e
 		return nil
 	}
 
-	s.snapEntries, s.lastSnapshot, err = readSnapshot(dir, counting)
-	if err != nil {
+	if err := s.recoverSnapshots(counting); err != nil {
 		return nil, err
 	}
 
-	walPath := filepath.Join(dir, walName)
-	f, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	// Datasets with WAL records are exactly the ones the snapshot chain
+	// does not fully cover — the registry must consider them dirty.
+	walDirty := make(map[string]bool)
+	if err := s.recoverSegments(func(dataset string, sum core.Summary) error {
+		walDirty[dataset] = true
+		return counting(dataset, sum)
+	}); err != nil {
+		return nil, err
+	}
+	for name := range walDirty {
+		s.walDatasets = append(s.walDatasets, name)
+	}
+	sort.Strings(s.walDatasets)
+
+	s.recoveredDatasets = len(datasets)
+	s.recoveredSummaries = int64(len(summaries))
+	s.sinceSnapshot = s.live.records
+	for _, m := range s.sealed {
+		s.sinceSnapshot += m.records
+	}
+
+	s.wg.Add(1)
+	go s.worker()
+	return s, nil
+}
+
+// migrateLegacy adopts a pre-segmented directory. With no MANIFEST
+// present, a "snapshot" file becomes chain file 1 and a "wal" file
+// becomes segment 1 by atomic rename; recoverSegments then writes the
+// first manifest. Each rename is an independent crash point — a restart
+// simply resumes where the last attempt stopped. With a MANIFEST present,
+// legacy files are unaccounted state (a downgrade wrote here?) and are
+// quarantined.
+func (s *Store) migrateLegacy() error {
+	_, _, ok, err := readManifest(s.dir)
 	if err != nil {
-		return nil, fmt.Errorf("store: opening WAL: %w", err)
+		return err
+	}
+	if ok {
+		for _, name := range []string{legacyWALName, legacySnapshotName} {
+			if _, err := os.Stat(filepath.Join(s.dir, name)); err == nil {
+				if err := s.quarantine(name); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if _, err := os.Stat(filepath.Join(s.dir, legacySnapshotName)); err == nil {
+		if err := os.Rename(filepath.Join(s.dir, legacySnapshotName), filepath.Join(s.dir, snapName(1))); err != nil {
+			return fmt.Errorf("store: migrating legacy snapshot: %w", err)
+		}
+		syncDir(s.dir)
+	}
+	if _, err := os.Stat(filepath.Join(s.dir, legacyWALName)); err == nil {
+		if err := os.Rename(filepath.Join(s.dir, legacyWALName), filepath.Join(s.dir, segmentName(1))); err != nil {
+			return fmt.Errorf("store: migrating legacy WAL: %w", err)
+		}
+		syncDir(s.dir)
+	}
+	return nil
+}
+
+// recoverSnapshots replays the snapshot chain: files merge in sequence
+// order (later entries replace earlier ones) and only the merged image
+// reaches apply, so a superseded entry never touches the registry. A
+// chain longer than one file is compacted into a single full file —
+// best-effort: a compaction failure keeps the valid chain and costs only
+// replay time on the next open.
+func (s *Store) recoverSnapshots(apply func(dataset string, sum core.Summary) error) error {
+	seqs, malformed, err := scanSnapshots(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range malformed {
+		if err := s.quarantine(name); err != nil {
+			return err
+		}
+	}
+	if len(seqs) == 0 {
+		return nil
+	}
+	merged := make(map[instanceKey]core.Summary)
+	var taken time.Time
+	for _, seq := range seqs {
+		_, t, err := readSnapshotFile(s.dir, seq, func(dataset string, sum core.Summary) error {
+			merged[instanceKey{dataset, sum.InstanceID()}] = sum
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		taken = t
+	}
+	if err := sortedMergeDump(merged)(apply); err != nil {
+		return err
+	}
+	if len(seqs) > 1 {
+		if tmp, _, err := writeSnapshotTemp(s.dir, s.codec, sortedMergeDump(merged)); err == nil {
+			compacted := seqs[len(seqs)-1] + 1
+			if err := promoteSnapshot(s.dir, tmp, compacted); err != nil {
+				os.Remove(tmp)
+			} else {
+				for _, old := range seqs {
+					os.Remove(filepath.Join(s.dir, snapName(old)))
+				}
+				syncDir(s.dir)
+				seqs = []int64{compacted}
+			}
+		}
+	}
+	s.snapSeqs = seqs
+	s.snapEntries = int64(len(merged))
+	s.lastSnapshot = taken
+	return nil
+}
+
+// recoverSegments replays the WAL segments the manifest names — sealed
+// segments strictly, the final one tolerating a torn tail — and leaves
+// the final segment open as the live one. Segments below the manifest
+// range are a deletion a crash interrupted (removed); segments above it
+// are the residue of a crash between segment creation and manifest update
+// and can hold no acknowledged record (appends only start after the
+// manifest names the segment) — those are quarantined, per the
+// never-silently-replay rule.
+func (s *Store) recoverSegments(apply func(dataset string, sum core.Summary) error) error {
+	first, last, ok, err := readManifest(s.dir)
+	if err != nil {
+		return err
+	}
+	seqs, malformed, err := scanSegments(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range malformed {
+		if err := s.quarantine(name); err != nil {
+			return err
+		}
+	}
+	if !ok {
+		switch {
+		case len(seqs) == 0:
+			// Fresh directory: create segment 1, then the manifest naming
+			// it. A crash in between leaves the magic-only segment the next
+			// clause adopts.
+			live, err := createSegment(s.dir, s.codec, 1)
+			if err != nil {
+				return err
+			}
+			if err := writeManifest(s.dir, 1, 1); err != nil {
+				live.f.Close()
+				os.Remove(live.path)
+				return err
+			}
+			s.first, s.live = 1, live
+			return nil
+		case len(seqs) == 1 && seqs[0] == 1:
+			// A crash before the first manifest write. Segment 1 is either
+			// the magic-only file of an interrupted fresh init or a just-
+			// renamed legacy WAL; either way it is the entire log — adopt
+			// it rather than quarantine acknowledged records.
+			if err := writeManifest(s.dir, 1, 1); err != nil {
+				return err
+			}
+			first, last = 1, 1
+		default:
+			return fmt.Errorf("store: %d WAL segments present without a manifest; refusing to guess which are live", len(seqs))
+		}
+	}
+	present := make(map[int64]bool, len(seqs))
+	for _, seq := range seqs {
+		present[seq] = true
+		switch {
+		case seq < first:
+			// Superseded by a snapshot whose deletion a crash interrupted.
+			os.Remove(filepath.Join(s.dir, segmentName(seq)))
+		case seq > last:
+			if err := s.quarantine(segmentName(seq)); err != nil {
+				return err
+			}
+		}
+	}
+	for seq := first; seq <= last; seq++ {
+		if !present[seq] {
+			return fmt.Errorf("store: manifest names WAL segment %d but the file is missing (acknowledged data is unrecoverable without it)", seq)
+		}
+	}
+	for seq := first; seq < last; seq++ {
+		meta, err := s.replaySealed(seq, apply)
+		if err != nil {
+			return err
+		}
+		s.sealed = append(s.sealed, meta)
+	}
+	live, err := s.openLive(last, apply)
+	if err != nil {
+		return err
+	}
+	s.first, s.live = first, live
+	return nil
+}
+
+// replaySealed strictly replays one sealed segment. Sealed segments were
+// fsynced whole before the manifest demoted them from live duty, so any
+// invalid record means lost acknowledged data — a hard error, never a
+// silent truncation.
+func (s *Store) replaySealed(seq int64, apply func(dataset string, sum core.Summary) error) (segMeta, error) {
+	path := filepath.Join(s.dir, segmentName(seq))
+	f, err := os.Open(path)
+	if err != nil {
+		return segMeta{}, fmt.Errorf("store: opening sealed WAL segment %d: %w", seq, err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return segMeta{}, fmt.Errorf("store: sealed WAL segment %d stat: %w", seq, err)
+	}
+	if info.Size() < magicLen {
+		return segMeta{}, fmt.Errorf("store: sealed WAL segment %d is torn at %d bytes (acknowledged data lost; refusing to recover silently)", seq, info.Size())
+	}
+	if err := checkMagic(f, segMagic, fmt.Sprintf("WAL segment %d", seq)); err != nil {
+		return segMeta{}, err
+	}
+	records, valid, err := readRecords(f, info.Size()-magicLen, true, apply)
+	if err != nil {
+		return segMeta{}, fmt.Errorf("store: sealed WAL segment %s: %w", path, err)
+	}
+	return segMeta{seq: seq, records: records, bytes: valid}, nil
+}
+
+// openLive opens the manifest's last segment for appending, replaying its
+// longest valid record prefix and truncating any torn tail — the one
+// place the lax rule applies, because only the live segment can be torn
+// by a crash mid-append.
+func (s *Store) openLive(seq int64, apply func(dataset string, sum core.Summary) error) (*segment, error) {
+	path := filepath.Join(s.dir, segmentName(seq))
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening WAL segment %d: %w", seq, err)
 	}
 	info, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("store: WAL stat: %w", err)
+		return nil, fmt.Errorf("store: WAL segment %d stat: %w", seq, err)
 	}
 	end := int64(magicLen)
-	switch {
-	case info.Size() == 0:
-		if _, err := f.WriteString(walMagic); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("store: writing WAL header: %w", err)
-		}
-	case info.Size() < magicLen:
-		// A crash before even the header landed: nothing recoverable, start
-		// the log over.
+	var records int64
+	if info.Size() < magicLen {
+		// A crash before even the header landed: nothing recoverable in
+		// this segment, start it over.
 		if err := f.Truncate(0); err != nil {
 			f.Close()
-			return nil, fmt.Errorf("store: resetting torn WAL header: %w", err)
+			return nil, fmt.Errorf("store: resetting torn WAL segment %d header: %w", seq, err)
 		}
-		if _, err := f.WriteAt([]byte(walMagic), 0); err != nil {
+		if _, err := f.WriteAt([]byte(segMagic), 0); err != nil {
 			f.Close()
-			return nil, fmt.Errorf("store: writing WAL header: %w", err)
+			return nil, fmt.Errorf("store: writing WAL segment %d header: %w", seq, err)
 		}
-	default:
-		if err := checkMagic(f, walMagic, "WAL"); err != nil {
+	} else {
+		if err := checkMagic(f, segMagic, fmt.Sprintf("WAL segment %d", seq)); err != nil {
 			f.Close()
 			return nil, err
 		}
-		records, valid, err := readRecords(f, info.Size()-magicLen, false, counting)
+		var valid int64
+		records, valid, err = readRecords(f, info.Size()-magicLen, false, apply)
 		if err != nil {
 			f.Close()
-			return nil, err
+			return nil, fmt.Errorf("store: WAL segment %s: %w", path, err)
 		}
-		s.walRecords = records
 		end = magicLen + valid
 		if end < info.Size() {
 			// Tear off the invalid tail so appends continue from a clean
@@ -195,103 +494,295 @@ func Open(dir string, opts Options, apply func(dataset string, s core.Summary) e
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("store: syncing WAL after recovery: %w", err)
+		return nil, fmt.Errorf("store: syncing WAL segment %d after recovery: %w", seq, err)
 	}
-	s.wal = f
-	s.w = newRecordWriter(f, codec, end)
-	s.sinceSnapshot = s.walRecords
-	s.recoveredDatasets = len(datasets)
-	s.recoveredSummaries = int64(len(summaries))
-	return s, nil
+	return &segment{seq: seq, path: path, f: f, w: newRecordWriter(f, s.codec, end), records: records}, nil
 }
 
-// Append writes one accepted (dataset, summary) registration to the WAL.
-// It reports snapshotDue when the appends since the last snapshot have
-// reached Options.SnapshotEvery — the caller (holding whatever lock
-// serializes registrations) should then call Snapshot with a consistent
-// dump. Append implements half of server.Persister.
+// quarantine moves a file the recovery cannot account for into the
+// quarantine subdirectory: the bytes are kept for forensics, but they
+// never replay and never collide with live file names.
+func (s *Store) quarantine(name string) error {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("store: creating quarantine dir: %w", err)
+	}
+	if err := os.Rename(filepath.Join(s.dir, name), filepath.Join(qdir, name)); err != nil {
+		return fmt.Errorf("store: quarantining %s: %w", name, err)
+	}
+	syncDir(s.dir)
+	s.quarantined++
+	return nil
+}
+
+// Append writes one accepted (dataset, summary) registration to the live
+// segment, rotating first if the segment is at its cap. It reports
+// snapshotDue when the appends since the last snapshot have reached
+// Options.SnapshotEvery — the caller (holding whatever lock serializes
+// registrations) should then call Snapshot with a consistent cut. Append
+// implements half of server.Persister.
 func (s *Store) Append(dataset string, sum core.Summary) (snapshotDue bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return false, fmt.Errorf("store: append on closed store")
+		return false, errors.New("store: append on closed store")
 	}
-	prevEnd := s.w.end
-	if err := s.w.append(dataset, sum); err != nil {
+	if s.live.records >= s.opts.SegmentRecords || s.live.w.end >= s.opts.SegmentBytes {
+		// Rotation failure is not an append failure: the record still lands
+		// durably in the over-cap live segment, costing recovery granularity
+		// rather than the request. Rotation is retried on the next append.
+		_ = s.rotateLocked()
+	}
+	live := s.live
+	prevEnd := live.w.end
+	if err := live.w.append(dataset, sum); err != nil {
 		return false, err
 	}
 	if s.opts.Fsync {
-		if err := s.wal.Sync(); err != nil {
+		if err := live.f.Sync(); err != nil {
 			// The record is fully framed on disk, but this error makes the
 			// caller roll the registration back and fail the request — so
 			// the frame must go too, or a restart would resurrect a summary
 			// the client was told did not land. If even the truncate fails,
 			// poison the store: better no more appends than a log whose
 			// valid prefix disagrees with what was acknowledged.
-			if terr := s.wal.Truncate(prevEnd); terr != nil {
+			if terr := live.f.Truncate(prevEnd); terr != nil {
 				s.closed = true
-				s.wal.Close()
+				s.snapCond.Broadcast() // let the snapshot worker exit
+				live.f.Close()
 				s.lock.Close()
 				return false, fmt.Errorf("store: syncing WAL: %v (truncating the unacknowledged record also failed, store closed: %w)", err, terr)
 			}
-			s.w.end = prevEnd
+			live.w.end = prevEnd
 			return false, fmt.Errorf("store: syncing WAL: %w", err)
 		}
 	}
-	s.walRecords++
+	live.records++
 	s.sinceSnapshot++
 	return s.opts.SnapshotEvery > 0 && s.sinceSnapshot >= s.opts.SnapshotEvery, nil
 }
 
-// Snapshot writes the full image dump yields — atomically, via temp file
-// and rename — and then truncates the WAL: the snapshot supersedes every
-// logged record. dump must iterate a state that includes everything
-// appended so far (the registry guarantees this by dumping under the
-// same lock that ordered the appends). A crash anywhere inside Snapshot
-// is safe: before the rename the old snapshot + full WAL recover the
-// state; after it, the new snapshot does, with any not-yet-truncated WAL
-// records replaying idempotently. Snapshot implements the other half of
-// server.Persister.
-func (s *Store) Snapshot(dump func(emit func(dataset string, s core.Summary) error) error) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return fmt.Errorf("store: snapshot on closed store")
+// rotateLocked seals the live segment and opens the next one. The order
+// is the crash-safety argument: the outgoing segment is truncated to its
+// logical end (dropping any failed-append residue) and fsynced BEFORE the
+// manifest demotes it — a sealed segment replays strictly, so its bytes
+// must be fully durable first. The new segment likewise exists, with its
+// header fsynced, before the manifest names it.
+func (s *Store) rotateLocked() error {
+	live := s.live
+	if err := live.f.Truncate(live.w.end); err != nil {
+		return fmt.Errorf("store: sealing WAL segment %d: %w", live.seq, err)
 	}
-	if err := s.snapshotLocked(dump); err != nil {
-		// Durability is intact — the WAL holds every record — but surface
-		// the failure in Status (operators watch /healthz) and back off a
-		// full snapshot interval before the next automatic attempt, so a
-		// persistently failing snapshot does not cost a registry dump on
-		// every subsequent append.
-		s.lastSnapErr = err.Error()
-		s.sinceSnapshot = 0
+	if err := live.f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing WAL segment %d before sealing: %w", live.seq, err)
+	}
+	next, err := createSegment(s.dir, s.codec, live.seq+1)
+	if err != nil {
 		return err
 	}
-	s.lastSnapErr = ""
+	if err := writeManifest(s.dir, s.first, next.seq); err != nil {
+		next.f.Close()
+		os.Remove(next.path)
+		return err
+	}
+	s.sealed = append(s.sealed, segMeta{seq: live.seq, records: live.records, bytes: live.w.end - magicLen})
+	live.f.Close()
+	s.live = next
 	return nil
 }
 
-func (s *Store) snapshotLocked(dump func(emit func(dataset string, s core.Summary) error) error) error {
+// Snapshot accepts a consistent cut for the background snapshot worker.
+// The caller (Registry.Put when due, Registry.Snapshot explicitly) holds
+// the registry lock, which is what makes enqueue order equal cut order:
+// the single worker then writes chain files in cut order, so a newer cut
+// can never be overridden by an older one replaying later.
+//
+// dump must iterate state cloned at the cut — it runs on the worker
+// goroutine, concurrently with new registrations. commit(ok) is called
+// exactly once, off the registry lock, when the snapshot completes or
+// fails: the registry uses it to mark the cut's datasets clean (ok) or
+// leave them dirty for the next attempt (!ok). With syncWait set the
+// returned wait blocks until the job finishes — call it AFTER releasing
+// the registry lock, or the worker's commit would deadlock against it.
+// Without syncWait, wait is nil, and the job is dropped (commit(false))
+// if a snapshot is already queued or running — dirtiness is retained, so
+// the next due snapshot re-covers the skipped appends. Snapshot
+// implements the other half of server.Persister.
+func (s *Store) Snapshot(dump func(emit func(dataset string, sum core.Summary) error) error, commit func(ok bool), syncWait bool) (wait func() error, err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		commit(false)
+		return nil, errors.New("store: snapshot on closed store")
+	}
+	// Back off a full interval before the next automatic attempt,
+	// whatever this one's outcome: a persistently failing snapshot must
+	// not re-trigger on every subsequent append.
+	s.sinceSnapshot = 0
+	if !syncWait && s.pending > 0 {
+		s.mu.Unlock()
+		commit(false)
+		return nil, nil
+	}
+	if s.live.records > 0 {
+		// Seal the live segment so the cut covers every record appended so
+		// far and the worker can delete segments up to it.
+		if err := s.rotateLocked(); err != nil {
+			s.lastSnapErr = err.Error()
+			s.mu.Unlock()
+			commit(false)
+			return nil, err
+		}
+	}
+	job := &snapJob{cut: s.live.seq - 1, dump: dump, commit: commit, done: make(chan error, 1)}
+	s.pending++
+	s.snapQ = append(s.snapQ, job)
+	s.snapCond.Signal()
+	s.mu.Unlock()
+	if syncWait {
+		return func() error { return <-job.done }, nil
+	}
+	return nil, nil
+}
+
+// worker is the background snapshot goroutine: it drains snapQ in FIFO
+// (= cut) order, holding no store lock during the expensive file write.
+// At close it fails any jobs still queued — their cuts stay dirty and the
+// WAL still holds their records, so nothing is lost.
+func (s *Store) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.snapQ) == 0 && !s.closed {
+			s.snapCond.Wait()
+		}
+		if len(s.snapQ) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		job := s.snapQ[0]
+		s.snapQ = s.snapQ[1:]
+		closed := s.closed
+		s.mu.Unlock()
+
+		var err error
+		if closed {
+			err = errors.New("store: closed before snapshot ran")
+		} else {
+			err = s.writeSnapshot(job)
+		}
+		if err != nil {
+			s.mu.Lock()
+			s.lastSnapErr = err.Error()
+			s.mu.Unlock()
+		}
+		// Off every store lock: commit re-enters the registry, whose lock
+		// ranks above the store's.
+		job.commit(err == nil)
+		job.done <- err
+
+		s.mu.Lock()
+		s.pending--
+		s.mu.Unlock()
+	}
+}
+
+// writeSnapshot runs one snapshot job on the worker goroutine. The dump
+// (already a consistent cut) streams into the next chain file; when the
+// chain would outgrow maxSnapshotChain it is merged with the existing
+// files into one full image instead. On success the manifest advances
+// past the covered segments and those files are deleted — strictly after
+// the chain file is durable, so a crash at any point leaves a directory
+// that recovers to the same state.
+func (s *Store) writeSnapshot(job *snapJob) error {
+	s.mu.Lock()
+	chain := append([]int64(nil), s.snapSeqs...)
+	s.mu.Unlock()
+
+	nextSeq := int64(1)
+	if len(chain) > 0 {
+		nextSeq = chain[len(chain)-1] + 1
+	}
+	dump := job.dump
+	merge := len(chain)+1 > maxSnapshotChain
+	if merge {
+		// Chain files are immutable once promoted and only this goroutine
+		// adds or removes them, so reading them unlocked is safe.
+		merged := make(map[instanceKey]core.Summary)
+		for _, seq := range chain {
+			if _, _, err := readSnapshotFile(s.dir, seq, func(dataset string, sum core.Summary) error {
+				merged[instanceKey{dataset, sum.InstanceID()}] = sum
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		if err := job.dump(func(dataset string, sum core.Summary) error {
+			merged[instanceKey{dataset, sum.InstanceID()}] = sum
+			return nil
+		}); err != nil {
+			return err
+		}
+		dump = sortedMergeDump(merged)
+	}
+
 	tmp, entries, err := writeSnapshotTemp(s.dir, s.codec, dump)
 	if err != nil {
 		return err
 	}
-	if err := promoteSnapshot(s.dir, tmp); err != nil {
+	wrote := entries > 0 || merge
+	if !wrote {
+		// Nothing was dirty at the cut. Every record in the covered
+		// segments mutated some dataset after the PREVIOUS cut, so an empty
+		// dump means those segments hold nothing the chain lacks — the
+		// manifest can still advance and delete them, without an empty
+		// chain file to show for it.
+		os.Remove(tmp)
+	} else if err := promoteSnapshot(s.dir, tmp, nextSeq); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	if err := s.wal.Truncate(magicLen); err != nil {
-		return fmt.Errorf("store: truncating WAL after snapshot: %w", err)
+
+	s.mu.Lock()
+	if wrote {
+		if merge {
+			s.snapSeqs = []int64{nextSeq}
+			s.snapEntries = entries
+		} else {
+			s.snapSeqs = append(s.snapSeqs, nextSeq)
+			s.snapEntries += entries
+		}
 	}
-	if err := s.wal.Sync(); err != nil {
-		return fmt.Errorf("store: syncing truncated WAL: %w", err)
+	var goneSegs []string
+	if job.cut >= s.first {
+		if err := writeManifest(s.dir, job.cut+1, s.live.seq); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		for len(s.sealed) > 0 && s.sealed[0].seq <= job.cut {
+			goneSegs = append(goneSegs, segmentName(s.sealed[0].seq))
+			s.sealed = s.sealed[1:]
+		}
+		s.first = job.cut + 1
 	}
-	s.w.end = magicLen
-	s.walRecords = 0
-	s.sinceSnapshot = 0
-	s.snapEntries = entries
 	s.lastSnapshot = time.Now()
+	s.lastSnapErr = "" // a successful snapshot clears any stale error
+	s.mu.Unlock()
+
+	// Deletions come last: until the manifest advanced, these files were
+	// needed; now a crash before any Remove just means recoverSegments
+	// prunes them next open.
+	if merge {
+		for _, seq := range chain {
+			os.Remove(filepath.Join(s.dir, snapName(seq)))
+		}
+	}
+	for _, name := range goneSegs {
+		os.Remove(filepath.Join(s.dir, name))
+	}
+	if merge || len(goneSegs) > 0 {
+		syncDir(s.dir)
+	}
 	return nil
 }
 
@@ -299,11 +790,19 @@ func (s *Store) snapshotLocked(dump func(emit func(dataset string, s core.Summar
 func (s *Store) Status() api.StoreStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	records, bytes := s.live.records, s.live.w.end-magicLen
+	for _, m := range s.sealed {
+		records += m.records
+		bytes += m.bytes
+	}
 	st := api.StoreStatus{
 		Dir:                s.dir,
-		WALRecords:         s.walRecords,
-		WALBytes:           s.w.end - magicLen,
+		WALRecords:         records,
+		WALBytes:           bytes,
+		WALSegments:        int64(len(s.sealed)) + 1,
 		SnapshotEntries:    s.snapEntries,
+		SnapshotChain:      len(s.snapSeqs),
+		QuarantinedFiles:   s.quarantined,
 		RecoveredDatasets:  s.recoveredDatasets,
 		RecoveredSummaries: s.recoveredSummaries,
 		Fsync:              s.opts.Fsync,
@@ -315,21 +814,37 @@ func (s *Store) Status() api.StoreStatus {
 	return st
 }
 
-// Close flushes and fsyncs the WAL and releases the directory. A store
-// shutting down cleanly should Snapshot first (as summaryd does on
-// SIGTERM) so the next Open replays a snapshot instead of the whole log —
-// but skipping that costs only recovery time, never data.
+// WALDatasets lists (sorted) the distinct dataset names Open recovered
+// from WAL segments — exactly the datasets the snapshot chain does not
+// fully cover. Pass it to Registry.MarkClean after SetPersister so the
+// first incremental snapshot writes these datasets and no others.
+func (s *Store) WALDatasets() []string {
+	return append([]string(nil), s.walDatasets...)
+}
+
+// Close stops the snapshot worker (failing any still-queued jobs — their
+// records remain in the WAL), fsyncs the live segment, and releases the
+// directory. A store shutting down cleanly should run a final
+// Registry.Snapshot first (as summaryd does on SIGTERM) so the next Open
+// replays a snapshot instead of the whole log — but skipping that costs
+// only recovery time, never data.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	s.snapCond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	defer s.lock.Close() // releases the directory flock
-	if err := s.wal.Sync(); err != nil {
-		s.wal.Close()
+	if err := s.live.f.Sync(); err != nil {
+		s.live.f.Close()
 		return fmt.Errorf("store: syncing WAL at close: %w", err)
 	}
-	return s.wal.Close()
+	return s.live.f.Close()
 }

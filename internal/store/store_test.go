@@ -2,15 +2,19 @@ package store
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/sampling"
 	"repro/internal/server"
 )
@@ -133,7 +137,9 @@ func mustMatch(t *testing.T, what string, got, want map[string][]byte) {
 	}
 }
 
-// reopen replays dir into a fresh registry and returns it with its store.
+// reopen replays dir into a fresh registry and returns it with its store,
+// wired exactly as summaryd wires them: persister attached after replay,
+// dirty tracking narrowed to the datasets with live WAL records.
 func reopen(t *testing.T, dir string, opts Options) (*server.Registry, *Store) {
 	t.Helper()
 	reg := server.NewRegistry()
@@ -142,6 +148,7 @@ func reopen(t *testing.T, dir string, opts Options) (*server.Registry, *Store) {
 		t.Fatalf("reopening store: %v", err)
 	}
 	reg.SetPersister(st)
+	reg.MarkClean(st.WALDatasets())
 	return reg, st
 }
 
@@ -191,38 +198,48 @@ func TestStoreRoundTrip(t *testing.T) {
 func TestSnapshotLifecycle(t *testing.T) {
 	dir := t.TempDir()
 	rng := rand.New(rand.NewSource(2))
-	reg, st := reopen(t, dir, Options{SnapshotEvery: 4})
+	// Automatic snapshots off: every snapshot in this test is an explicit,
+	// synchronous Registry.Snapshot, so the lifecycle is deterministic.
+	reg, st := reopen(t, dir, Options{SnapshotEvery: -1})
 
 	want := make(shadow)
-	for i := 0; i < 10; i++ {
-		spec := specs[i%len(specs)]
-		s := randomSummary(rng, spec)
-		if err := reg.Put(spec.name, s); err != nil {
-			t.Fatalf("put: %v", err)
+	put := func(reg *server.Registry, n int) {
+		for i := 0; i < n; i++ {
+			spec := specs[i%len(specs)]
+			s := randomSummary(rng, spec)
+			if err := reg.Put(spec.name, s); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+			want.put(spec.name, s)
 		}
-		want.put(spec.name, s)
 	}
-	// 10 appends with a snapshot every 4: two snapshots fired, WAL holds
-	// the 2 records since the second.
+	put(reg, 8)
+	if err := reg.Snapshot(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	put(reg, 2)
+	// The snapshot covered the first 8 records; the WAL holds the 2 since.
 	status := st.Status()
 	if status.WALRecords != 2 {
-		t.Fatalf("WALRecords = %d, want 2 (snapshots did not fire)", status.WALRecords)
+		t.Fatalf("WALRecords = %d, want 2 (snapshot did not supersede the log)", status.WALRecords)
 	}
-	if status.SnapshotEntries == 0 || status.LastSnapshot == "" {
+	if status.SnapshotEntries == 0 || status.LastSnapshot == "" || status.SnapshotChain != 1 {
 		t.Fatalf("snapshot status not recorded: %+v", status)
 	}
 	st.Close()
 
-	reg2, st2 := reopen(t, dir, Options{SnapshotEvery: 4})
+	reg2, st2 := reopen(t, dir, Options{SnapshotEvery: -1})
 	mustMatch(t, "snapshot+wal", image(t, reg2.Dump), image(t, want.dump))
 
-	// An explicit snapshot (the shutdown path) empties the WAL.
+	// An explicit snapshot (the shutdown path) supersedes the whole WAL —
+	// including with automatic snapshots disabled, the disabled-auto bug
+	// this release fixes.
 	if err := reg2.Snapshot(); err != nil {
 		t.Fatalf("explicit snapshot: %v", err)
 	}
 	status = st2.Status()
 	if status.WALRecords != 0 || status.WALBytes != 0 {
-		t.Fatalf("WAL not truncated after snapshot: %+v", status)
+		t.Fatalf("WAL not superseded after snapshot: %+v", status)
 	}
 	st2.Close()
 
@@ -232,6 +249,38 @@ func TestSnapshotLifecycle(t *testing.T) {
 	if got := st3.Status().WALRecords; got != 0 {
 		t.Fatalf("WALRecords after snapshot-only recovery = %d, want 0", got)
 	}
+}
+
+func TestAutomaticSnapshotsRunInBackground(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(11))
+	reg, st := reopen(t, dir, Options{SnapshotEvery: 4})
+	want := make(shadow)
+	for i := 0; i < 10; i++ {
+		spec := specs[i%len(specs)]
+		s := randomSummary(rng, spec)
+		if err := reg.Put(spec.name, s); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		want.put(spec.name, s)
+	}
+	// The 4th put queued a background snapshot; poll until the worker has
+	// committed one (the only nondeterminism is its scheduling).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status := st.Status()
+		if status.SnapshotEntries > 0 && status.LastSnapshot != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background snapshot never committed: %+v", status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st.Close()
+	reg2, st2 := reopen(t, dir, Options{})
+	defer st2.Close()
+	mustMatch(t, "background snapshot", image(t, reg2.Dump), image(t, want.dump))
 }
 
 func TestTornTailRecovery(t *testing.T) {
@@ -249,8 +298,9 @@ func TestTornTailRecovery(t *testing.T) {
 	}
 	st.Close()
 
-	// A crash mid-append: garbage where the sixth record would be.
-	walPath := filepath.Join(dir, walName)
+	// A crash mid-append: garbage where the sixth record would be, in the
+	// live (final) segment — the one place torn bytes are legitimate.
+	walPath := filepath.Join(dir, segmentName(1))
 	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -314,7 +364,7 @@ func TestSnapshotAtomicity(t *testing.T) {
 	if entries == 0 {
 		t.Fatal("temp snapshot wrote no entries")
 	}
-	snapBefore, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	snapBefore, err := os.ReadFile(filepath.Join(dir, snapName(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +375,7 @@ func TestSnapshotAtomicity(t *testing.T) {
 	reg2, st2 := reopen(t, dir, Options{})
 	defer st2.Close()
 	mustMatch(t, "aborted snapshot", image(t, reg2.Dump), image(t, want.dump))
-	snapAfter, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	snapAfter, err := os.ReadFile(filepath.Join(dir, snapName(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +401,7 @@ func TestSnapshotCorruptionIsAnError(t *testing.T) {
 
 	// Flip a payload byte: snapshots are renamed atomically, so damage is
 	// disk corruption and replay must refuse rather than guess.
-	path := filepath.Join(dir, snapshotName)
+	path := filepath.Join(dir, snapName(1))
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -463,7 +513,7 @@ func TestSnapshotWALOverlapReplaysIdempotently(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := promoteSnapshot(dir, tmp); err != nil {
+	if err := promoteSnapshot(dir, tmp, 1); err != nil {
 		t.Fatal(err)
 	}
 	st.Close()
@@ -495,15 +545,15 @@ func TestFsyncFailureDoesNotResurrectRecord(t *testing.T) {
 	if err := reg.Put(specs[0].name, keep); err != nil {
 		t.Fatal(err)
 	}
-	prevEnd := st.w.end
+	prevEnd := st.live.w.end
 	if _, err := st.Append("doomed", randomSummary(rng, specs[0])); err != nil {
 		t.Fatal(err)
 	}
 	// Undo exactly as the Sync-failure path does.
-	if err := st.wal.Truncate(prevEnd); err != nil {
+	if err := st.live.f.Truncate(prevEnd); err != nil {
 		t.Fatal(err)
 	}
-	st.w.end = prevEnd
+	st.live.w.end = prevEnd
 	st.Close()
 
 	var got []string
@@ -549,4 +599,379 @@ func TestSnapshotFailureSurfacesAndBacksOff(t *testing.T) {
 		t.Fatalf("append after failed snapshot: due=%v err=%v (want no immediate retry)", due, err)
 	}
 	st.Close()
+}
+
+func TestSegmentRotationBoundsFiles(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(12))
+	opts := Options{SnapshotEvery: -1, SegmentRecords: 2}
+	reg, st := reopen(t, dir, opts)
+	want := make(shadow)
+	for i := 0; i < 7; i++ {
+		spec := specs[i%len(specs)]
+		s := randomSummary(rng, spec)
+		if err := reg.Put(spec.name, s); err != nil {
+			t.Fatal(err)
+		}
+		want.put(spec.name, s)
+	}
+	// 7 records at 2 per segment: segments 1..3 sealed full, segment 4
+	// live with one record.
+	status := st.Status()
+	if status.WALSegments != 4 || status.WALRecords != 7 {
+		t.Fatalf("segments=%d records=%d, want 4/7", status.WALSegments, status.WALRecords)
+	}
+	if first, last, ok, err := readManifest(dir); err != nil || !ok || first != 1 || last != 4 {
+		t.Fatalf("manifest = [%d,%d] ok=%v err=%v, want [1,4]", first, last, ok, err)
+	}
+	st.Close()
+
+	reg2, st2 := reopen(t, dir, opts)
+	defer st2.Close()
+	mustMatch(t, "multi-segment recovery", image(t, reg2.Dump), image(t, want.dump))
+	if got := st2.Status().WALRecords; got != 7 {
+		t.Fatalf("WALRecords after recovery = %d, want 7", got)
+	}
+
+	// A snapshot covers every sealed segment: only the fresh live segment
+	// survives it, and the manifest window moves past the deleted files.
+	if err := reg2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	status = st2.Status()
+	if status.WALSegments != 1 || status.WALRecords != 0 {
+		t.Fatalf("after snapshot: segments=%d records=%d, want 1/0", status.WALSegments, status.WALRecords)
+	}
+	segs, _, err := scanSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segment files on disk after snapshot: %v (err=%v), want exactly one", segs, err)
+	}
+	if first, _, _, _ := readManifest(dir); first != segs[0] {
+		t.Fatalf("manifest first=%d does not match surviving segment %d", first, segs[0])
+	}
+}
+
+func TestSealedSegmentTruncationHardErrors(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(13))
+	reg, st := reopen(t, dir, Options{SnapshotEvery: -1, SegmentRecords: 2})
+	for i := 0; i < 5; i++ {
+		if err := reg.Put(specs[0].name, randomSummary(rng, specs[0])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	// Chop bytes off a SEALED segment. It was fsynced before the manifest
+	// demoted it, so a tear here is lost acknowledged data — recovery must
+	// refuse, not silently truncate like it would on the final segment.
+	sealedPath := filepath.Join(dir, segmentName(1))
+	size := fileSize(t, sealedPath)
+	if err := os.Truncate(sealedPath, size-3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}, func(string, core.Summary) error { return nil }); err == nil {
+		t.Fatal("Open silently accepted a torn sealed segment")
+	}
+}
+
+func TestOrphanAndMalformedSegmentsQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(14))
+	reg, st := reopen(t, dir, Options{})
+	want := make(shadow)
+	s := randomSummary(rng, specs[0])
+	if err := reg.Put(specs[0].name, s); err != nil {
+		t.Fatal(err)
+	}
+	want.put(specs[0].name, s)
+	st.Close()
+
+	// An out-of-manifest segment (crash between segment creation and
+	// manifest update) and an unparsable segment-ish name: both must be
+	// moved aside — neither replayed nor deleted nor left to collide.
+	orphan := filepath.Join(dir, segmentName(99))
+	if err := os.WriteFile(orphan, []byte(segMagic), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	malformed := filepath.Join(dir, "wal-bogus.seg")
+	if err := os.WriteFile(malformed, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, st2 := reopen(t, dir, Options{})
+	defer st2.Close()
+	mustMatch(t, "quarantine recovery", image(t, reg2.Dump), image(t, want.dump))
+	if got := st2.Status().QuarantinedFiles; got != 2 {
+		t.Fatalf("QuarantinedFiles = %d, want 2", got)
+	}
+	for _, name := range []string{segmentName(99), "wal-bogus.seg"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("%s still in the data dir: %v", name, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, quarantineDir, name)); err != nil {
+			t.Fatalf("%s not preserved in quarantine: %v", name, err)
+		}
+	}
+}
+
+func TestLegacyLayoutMigrates(t *testing.T) {
+	// Build a PR-5-era directory by hand: a single "wal" file (same magic
+	// and framing as a segment) and a promoted "snapshot". Open must adopt
+	// both losslessly — rename into the segmented layout, write the first
+	// manifest — and a second open must find a normal segmented store.
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(15))
+	codec, err := core.CodecByVersion(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(shadow)
+	snapSum := randomSummary(rng, specs[0])
+	want.put(specs[0].name, snapSum)
+	tmp, _, err := writeSnapshotTemp(dir, codec, func(emit func(string, core.Summary) error) error {
+		return emit(specs[0].name, snapSum)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, legacySnapshotName)); err != nil {
+		t.Fatal(err)
+	}
+	wal, err := os.Create(filepath.Join(dir, legacyWALName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wal.WriteString(segMagic); err != nil {
+		t.Fatal(err)
+	}
+	w := newRecordWriter(wal, codec, magicLen)
+	for i := 0; i < 3; i++ {
+		s := randomSummary(rng, specs[1])
+		if err := w.append(specs[1].name, s); err != nil {
+			t.Fatal(err)
+		}
+		want.put(specs[1].name, s)
+	}
+	wal.Close()
+
+	reg, st := reopen(t, dir, Options{})
+	mustMatch(t, "legacy migration", image(t, reg.Dump), image(t, want.dump))
+	if _, err := os.Stat(filepath.Join(dir, legacyWALName)); !os.IsNotExist(err) {
+		t.Fatalf("legacy wal still present: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, legacySnapshotName)); !os.IsNotExist(err) {
+		t.Fatalf("legacy snapshot still present: %v", err)
+	}
+	if first, last, ok, err := readManifest(dir); err != nil || !ok || first != 1 || last != 1 {
+		t.Fatalf("manifest after migration = [%d,%d] ok=%v err=%v, want [1,1]", first, last, ok, err)
+	}
+	// The migrated log keeps accepting appends, and a second recovery sees
+	// a plain segmented store.
+	s := randomSummary(rng, specs[2])
+	if err := reg.Put(specs[2].name, s); err != nil {
+		t.Fatal(err)
+	}
+	want.put(specs[2].name, s)
+	st.Close()
+	reg2, st2 := reopen(t, dir, Options{})
+	defer st2.Close()
+	mustMatch(t, "post-migration reopen", image(t, reg2.Dump), image(t, want.dump))
+}
+
+func TestAppendsProceedDuringSnapshot(t *testing.T) {
+	// The tentpole property: an in-flight snapshot must not block the
+	// serving path. The dump blocks on a gate held by the test; appends
+	// must complete while it is held.
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(16))
+	st, err := Open(dir, Options{SnapshotEvery: -1}, func(string, core.Summary) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := st.Append(specs[0].name, randomSummary(rng, specs[0])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	snapSum := randomSummary(rng, specs[0])
+	dump := func(emit func(string, core.Summary) error) error {
+		close(started)
+		<-gate
+		return emit(specs[0].name, snapSum)
+	}
+	wait, err := st.Snapshot(dump, func(bool) {}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker is inside the dump, snapshot in flight
+
+	appended := make(chan error, 1)
+	go func() {
+		_, err := st.Append(specs[0].name, randomSummary(rng, specs[0]))
+		appended <- err
+	}()
+	select {
+	case err := <-appended:
+		if err != nil {
+			t.Fatalf("append during snapshot: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("append blocked behind an in-flight snapshot")
+	}
+
+	close(gate)
+	if err := wait(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if got := st.Status().SnapshotChain; got != 1 {
+		t.Fatalf("SnapshotChain = %d, want 1", got)
+	}
+}
+
+func TestSnapshotErrorClearsOnSuccess(t *testing.T) {
+	// Regression: the error was sticky — set on failure, never cleared —
+	// so /healthz kept paging long after snapshots had recovered. A
+	// success must wipe it, both in Status and in the healthz JSON (the
+	// field is omitempty, so a healthy store has no key at all).
+	dir := filepath.Join(t.TempDir(), "data")
+	rng := rand.New(rand.NewSource(17))
+	reg, st := reopen(t, dir, Options{SnapshotEvery: -1})
+	defer st.Close()
+	if err := reg.Put(specs[0].name, randomSummary(rng, specs[0])); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot(); err == nil {
+		t.Fatal("snapshot succeeded with the data dir gone")
+	}
+	if st.Status().SnapshotError == "" {
+		t.Fatal("failed snapshot left no error in Status")
+	}
+	srv := server.New(reg, engine.Config{}, server.WithStoreStatus(st.Status))
+	if !healthzHasSnapshotError(t, srv) {
+		t.Fatal("healthz hides the snapshot error while degraded")
+	}
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Put(specs[0].name, randomSummary(rng, specs[0])); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot(); err != nil {
+		t.Fatalf("snapshot after recovery: %v", err)
+	}
+	if got := st.Status().SnapshotError; got != "" {
+		t.Fatalf("SnapshotError still %q after a successful snapshot", got)
+	}
+	if healthzHasSnapshotError(t, srv) {
+		t.Fatal("healthz still reports snapshot_error after a successful snapshot")
+	}
+}
+
+// healthzHasSnapshotError probes GET /healthz and reports whether the
+// store object carries a snapshot_error key.
+func healthzHasSnapshotError(t *testing.T, srv *server.Server) bool {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	var raw struct {
+		Store map[string]json.RawMessage `json:"store"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if raw.Store == nil {
+		t.Fatal("healthz has no store object")
+	}
+	_, ok := raw.Store["snapshot_error"]
+	return ok
+}
+
+func TestIncrementalSnapshotsCoverOnlyDirtyDatasets(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(18))
+	reg, st := reopen(t, dir, Options{SnapshotEvery: -1})
+	want := make(shadow)
+	for i := 0; i < 2; i++ {
+		for _, spec := range specs[:2] { // alpha and beta
+			s := randomSummary(rng, spec)
+			if err := reg.Put(spec.name, s); err != nil {
+				t.Fatal(err)
+			}
+			want.put(spec.name, s)
+		}
+	}
+	if err := reg.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Only beta mutates; the second chain file must hold beta alone.
+	s := randomSummary(rng, specs[1])
+	if err := reg.Put(specs[1].name, s); err != nil {
+		t.Fatal(err)
+	}
+	want.put(specs[1].name, s)
+	if err := reg.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Status().SnapshotChain; got != 2 {
+		t.Fatalf("SnapshotChain = %d, want 2", got)
+	}
+	chainDatasets := make(map[string]int)
+	if _, _, err := readSnapshotFile(dir, 2, func(ds string, s core.Summary) error {
+		chainDatasets[ds]++
+		return nil
+	}); err != nil {
+		t.Fatalf("reading chain file 2: %v", err)
+	}
+	if len(chainDatasets) != 1 || chainDatasets[specs[1].name] != len(want[specs[1].name]) {
+		t.Fatalf("chain file 2 holds %v, want only %s with all %d instances",
+			chainDatasets, specs[1].name, len(want[specs[1].name]))
+	}
+	st.Close()
+
+	// Reopen compacts the chain to one file and loses nothing.
+	reg2, st2 := reopen(t, dir, Options{})
+	defer st2.Close()
+	mustMatch(t, "chain recovery", image(t, reg2.Dump), image(t, want.dump))
+	if got := st2.Status().SnapshotChain; got != 1 {
+		t.Fatalf("SnapshotChain after reopen = %d, want 1 (compacted)", got)
+	}
+}
+
+func TestSnapshotChainCompactsAtRuntime(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(19))
+	reg, st := reopen(t, dir, Options{SnapshotEvery: -1})
+	want := make(shadow)
+	// One more snapshot than the chain bound: the last one must fold the
+	// whole chain into a single file instead of growing it without limit.
+	for i := 0; i <= maxSnapshotChain; i++ {
+		spec := specs[i%len(specs)]
+		s := randomSummary(rng, spec)
+		if err := reg.Put(spec.name, s); err != nil {
+			t.Fatal(err)
+		}
+		want.put(spec.name, s)
+		if err := reg.Snapshot(); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+	}
+	if got := st.Status().SnapshotChain; got != 1 {
+		t.Fatalf("SnapshotChain = %d, want 1 after compaction", got)
+	}
+	snaps, _, err := scanSnapshots(dir)
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("snapshot files on disk: %v (err=%v), want exactly one", snaps, err)
+	}
+	st.Close()
+	reg2, st2 := reopen(t, dir, Options{})
+	defer st2.Close()
+	mustMatch(t, "compacted recovery", image(t, reg2.Dump), image(t, want.dump))
 }

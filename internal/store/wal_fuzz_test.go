@@ -11,25 +11,30 @@ import (
 	"repro/internal/server"
 )
 
-// FuzzWALReplay feeds hostile bytes to the WAL replay path: corrupt
-// checksums, oversized length prefixes, truncated records, garbage
-// trailers, torn headers. Open must never panic; it either refuses the
-// file (foreign header, or a checksummed payload that does not parse —
-// version skew must not truncate acknowledged data) or recovers a
-// stable longest-valid-prefix: reopening the truncated result recovers
-// exactly the same records.
+// FuzzWALReplay feeds hostile bytes to the segmented replay path. Each
+// fuzz directory is a two-segment store: a FIXED, genuinely valid sealed
+// segment plus the fuzz input as the final segment, under a manifest
+// retaining both. Open must never panic; it either refuses the directory
+// (foreign header, torn sealed data, or a checksummed payload that does
+// not parse — version skew must not truncate acknowledged data) or
+// recovers: the sealed segment's records completely (sealed segments
+// never replay partially) plus a stable longest-valid-prefix of the
+// final one — reopening recovers exactly the same records and shrinks
+// nothing further.
 func FuzzWALReplay(f *testing.F) {
-	// Seed with a genuine 3-record WAL and targeted mutations of it.
+	// Build a genuine rotated store once: 3 records at 2 per segment
+	// leave segment 1 sealed with 2 records and segment 2 live with 1.
 	seedDir := f.TempDir()
+	const sealedRecords = 2
 	func() {
 		rng := rand.New(rand.NewSource(42))
 		reg := server.NewRegistry()
-		st, err := Open(seedDir, Options{}, reg.Put)
+		st, err := Open(seedDir, Options{SnapshotEvery: -1, SegmentRecords: sealedRecords}, reg.Put)
 		if err != nil {
 			f.Fatal(err)
 		}
 		reg.SetPersister(st)
-		for i := 0; i < 3; i++ {
+		for i := 0; i < sealedRecords+1; i++ {
 			spec := specs[i%len(specs)]
 			if err := reg.Put(spec.name, randomSummary(rng, spec)); err != nil {
 				f.Fatal(err)
@@ -37,16 +42,21 @@ func FuzzWALReplay(f *testing.F) {
 		}
 		st.Close()
 	}()
-	valid, err := os.ReadFile(filepath.Join(seedDir, walName))
+	sealed, err := os.ReadFile(filepath.Join(seedDir, segmentName(1)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(filepath.Join(seedDir, segmentName(2)))
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(valid)
 	f.Add(valid[:len(valid)-3])                     // truncated final record
 	f.Add(append(append([]byte{}, valid...), 0xCB)) // garbage trailer
-	f.Add([]byte(walMagic))                         // empty log
+	f.Add([]byte(segMagic))                         // empty segment
 	f.Add([]byte("CWAL"))                           // torn header
 	f.Add([]byte("NOPE!records"))                   // foreign file
+	f.Add([]byte{})                                 // zero bytes (fresh-crash residue)
 	corrupt := append([]byte{}, valid...)
 	corrupt[len(corrupt)-1] ^= 0xFF // CRC mismatch in the last record
 	f.Add(corrupt)
@@ -57,8 +67,14 @@ func FuzzWALReplay(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
-		walPath := filepath.Join(dir, walName)
-		if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), sealed, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		finalPath := filepath.Join(dir, segmentName(2))
+		if err := os.WriteFile(finalPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeManifest(dir, 1, 2); err != nil {
 			t.Fatal(err)
 		}
 		var first int
@@ -71,11 +87,17 @@ func FuzzWALReplay(f *testing.F) {
 		if err := st.Close(); err != nil {
 			t.Fatalf("close after recovery: %v", err)
 		}
-		// Open truncated the log to its valid prefix: replaying the
-		// truncated file must find the identical record count, and the
-		// file must now end exactly at a record boundary (a third open
-		// must not shrink it further).
-		size := fileSize(t, walPath)
+		// Success means the sealed segment replayed in full — hostile bytes
+		// in the final segment must never swallow acknowledged records that
+		// live before it in the log.
+		if first < sealedRecords {
+			t.Fatalf("recovered %d records, sealed segment alone holds %d", first, sealedRecords)
+		}
+		// Open truncated the final segment to its valid prefix: replaying
+		// must find the identical record count, and the file must now end
+		// exactly at a record boundary (a third open must not shrink it
+		// further).
+		size := fileSize(t, finalPath)
 		var second int
 		st2, err := Open(dir, Options{}, func(string, core.Summary) error { second++; return nil })
 		if err != nil {
@@ -85,7 +107,7 @@ func FuzzWALReplay(f *testing.F) {
 		if second != first {
 			t.Fatalf("recovered %d records, then %d from the truncated log", first, second)
 		}
-		if got := fileSize(t, walPath); got != size {
+		if got := fileSize(t, finalPath); got != size {
 			t.Fatalf("valid prefix not stable: %d then %d bytes", size, got)
 		}
 	})

@@ -59,12 +59,21 @@ type StoreStatus struct {
 	// Dir is the durability directory (summaryd -data-dir).
 	Dir string `json:"dir"`
 	// WALRecords and WALBytes measure the log written since the last
-	// snapshot — the work a crash right now would replay.
-	WALRecords int64 `json:"wal_records"`
-	WALBytes   int64 `json:"wal_bytes"`
-	// SnapshotEntries is the number of summaries in the snapshot on disk
-	// (0 when none has been taken yet).
+	// snapshot — the work a crash right now would replay — across all
+	// retained segments; WALSegments counts those segment files (the live
+	// one included).
+	WALRecords  int64 `json:"wal_records"`
+	WALBytes    int64 `json:"wal_bytes"`
+	WALSegments int64 `json:"wal_segments"`
+	// SnapshotEntries is the number of summaries in the snapshot chain on
+	// disk (0 when none has been taken yet); SnapshotChain counts the
+	// incremental chain files recovery would replay before the WAL.
 	SnapshotEntries int64 `json:"snapshot_entries"`
+	SnapshotChain   int   `json:"snapshot_chain"`
+	// QuarantinedFiles counts files the last recovery could not account
+	// for (out-of-manifest segments, unparsable names) and moved to the
+	// quarantine/ subdirectory instead of replaying or deleting.
+	QuarantinedFiles int `json:"quarantined_files,omitempty"`
 	// LastSnapshot is the RFC 3339 time of the live snapshot; empty when
 	// none exists.
 	LastSnapshot string `json:"last_snapshot,omitempty"`
