@@ -15,6 +15,8 @@
 //	summaryd -wire 2                # binary default for summary fetch-backs
 //	summaryd -data-dir /var/lib/summaryd  # durable registry (WAL + snapshots)
 //	summaryd -data-dir d -fsync -snapshot-every 1000  # power-loss durable
+//	summaryd -log-format json -log-level debug  # structured ops logging
+//	summaryd -pprof-addr 127.0.0.1:6060         # profiling side listener
 //
 // -shards selects the ingest summarization strategy: 1 (the default) runs
 // the sequential pipeline, n>1 fans out across n hash-partitioned
@@ -52,6 +54,18 @@
 // snapshots are disabled with a negative -snapshot-every, so the next
 // boot does not replay the whole log), and fsyncs the store before
 // exiting.
+//
+// Observability: every request carries an X-Request-ID (inbound IDs from
+// a fronting proxy are honored) and emits one structured log line keyed
+// by it; requests at or above -slow-request log at warn with slow=true.
+// -metrics (on by default) serves the Prometheus text exposition on
+// GET /metrics of the main listener — HTTP, ingest-engine, and (with
+// -data-dir) durability series, all prefixed summaryd_. -pprof-addr
+// starts a SEPARATE listener serving net/http/pprof under /debug/pprof/
+// — keep it on a loopback or operator-only address; profiles are not for
+// the data plane. -log-format selects human text (default) or one JSON
+// object per line; -log-level sets the floor (debug silences nothing,
+// warn keeps only slow requests and problems).
 package main
 
 import (
@@ -59,18 +73,47 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 )
+
+// buildLogger resolves -log-format/-log-level into the process logger.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (debug, info, warn, error)", level)
+	}
+	hopts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, hopts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, hopts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (text, json)", format)
+	}
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -83,7 +126,19 @@ func main() {
 	snapshotEvery := flag.Int64("snapshot-every", store.DefaultSnapshotEvery, "WAL records between automatic snapshots (negative disables automatic snapshots; a final one is still taken at shutdown); snapshots are incremental and written in the background, so posts and queries keep flowing while one runs")
 	segmentBytes := flag.Int64("wal-segment-bytes", store.DefaultSegmentBytes, "size cap of one WAL segment file; the log rotates into a fresh segment past it")
 	fsync := flag.Bool("fsync", false, "fsync the WAL after every accepted summary (durable against power loss)")
+	metrics := flag.Bool("metrics", true, "serve the Prometheus text exposition on GET /metrics")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables profiling")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	slowReq := flag.Duration("slow-request", time.Second, "log requests at or above this duration at warn with slow=true (0 disables)")
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "summaryd: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	if _, err := core.CodecByVersion(*wire); err != nil {
 		fmt.Fprintf(os.Stderr, "summaryd: -wire %d: %v\n", *wire, err)
@@ -103,14 +158,37 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One registry feeds every layer's series; the observer instruments
+	// the request path and the server's engine totals, the store adds its
+	// durability series at Open. Requests are always measured and logged —
+	// -metrics only gates whether /metrics exposes the numbers.
+	metricsReg := obs.NewRegistry()
+	observer := server.NewObserver(metricsReg,
+		server.WithRequestLogger(logger),
+		server.WithSlowRequest(*slowReq),
+	)
+
 	reg := server.NewRegistry()
-	opts := []server.Option{server.WithDefaultWire(*wire)}
+	opts := []server.Option{
+		server.WithDefaultWire(*wire),
+		server.WithObserver(observer),
+	}
+	if *metrics {
+		opts = append(opts, server.WithMetricsEndpoint())
+	}
 	var st *store.Store
 	if *dataDir != "" {
+		openStart := time.Now()
 		var err error
-		st, err = store.Open(*dataDir, store.Options{SnapshotEvery: *snapshotEvery, SegmentBytes: *segmentBytes, Fsync: *fsync}, reg.Put)
+		st, err = store.Open(*dataDir, store.Options{
+			SnapshotEvery: *snapshotEvery,
+			SegmentBytes:  *segmentBytes,
+			Fsync:         *fsync,
+			Metrics:       metricsReg,
+		}, reg.Put)
 		if err != nil {
-			log.Fatalf("summaryd: opening store: %v", err)
+			logger.Error("opening store failed", "dir", *dataDir, "error", err)
+			os.Exit(1)
 		}
 		// Attach only after Open has replayed: replay goes through reg.Put
 		// too, and must not re-append what the log already holds. Replay
@@ -120,9 +198,17 @@ func main() {
 		reg.MarkClean(st.WALDatasets())
 		opts = append(opts, server.WithStoreStatus(st.Status))
 		status := st.Status()
-		log.Printf("summaryd: recovered %d summaries in %d datasets from %s (snapshot entries=%d, wal records=%d in %d segments, fsync=%v)",
-			status.RecoveredSummaries, status.RecoveredDatasets, *dataDir,
-			status.SnapshotEntries, status.WALRecords, status.WALSegments, *fsync)
+		logger.Info("store recovered",
+			"dir", *dataDir,
+			"summaries", status.RecoveredSummaries,
+			"datasets", status.RecoveredDatasets,
+			"snapshot_entries", status.SnapshotEntries,
+			"wal_records", status.WALRecords,
+			"wal_segments", status.WALSegments,
+			"quarantined", status.QuarantinedFiles,
+			"fsync", *fsync,
+			"duration", time.Since(openStart),
+		)
 	}
 
 	srv := &http.Server{
@@ -134,19 +220,54 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("summaryd: listening on %s (shards=%d, batch=%d, async=%v, queue=%d, wire=%d of %v)",
-		*addr, cfg.NumShards(), cfg.EffectiveBatchSize(), cfg.Async, cfg.EffectiveQueueDepth(),
-		*wire, core.SupportedWireVersions())
+
+	// The profiling listener is deliberately separate from the data plane:
+	// it binds its own (typically loopback) address, is never instrumented
+	// or logged per-request, and dies with the process rather than being
+	// drained — profiles in flight at shutdown are not worth waiting for.
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: mux}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "addr", *pprofAddr, "error", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *pprofAddr)
+	}
+
+	logger.Info("listening",
+		"addr", *addr,
+		"shards", cfg.NumShards(),
+		"batch", cfg.EffectiveBatchSize(),
+		"async", cfg.Async,
+		"queue", cfg.EffectiveQueueDepth(),
+		"wire", *wire,
+		"wire_versions", core.SupportedWireVersions(),
+		"metrics", *metrics,
+		"slow_request", *slowReq,
+	)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("summaryd: %v", err)
+		logger.Error("server failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
-		log.Printf("summaryd: shutting down")
+		logger.Info("shutting down")
 		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("summaryd: shutdown: %v", err)
+			logger.Error("shutdown failed", "error", err)
+			os.Exit(1)
+		}
+		if pprofSrv != nil {
+			pprofSrv.Close()
 		}
 		if st != nil {
 			// Requests are drained; park the registry in a snapshot so the
@@ -154,11 +275,13 @@ func main() {
 			// flush and fsync the WAL on the way out. Registry.Snapshot
 			// (not st.Snapshot) keeps the registry→store lock order.
 			if err := reg.Snapshot(); err != nil {
-				log.Printf("summaryd: final snapshot: %v (WAL still holds everything)", err)
+				logger.Warn("final snapshot failed; WAL still holds everything", "error", err)
 			}
 			if err := st.Close(); err != nil {
-				log.Fatalf("summaryd: closing store: %v", err)
+				logger.Error("closing store failed", "error", err)
+				os.Exit(1)
 			}
+			logger.Info("store closed")
 		}
 	}
 }

@@ -200,6 +200,9 @@ type Stats struct {
 	// shard's queue was full — the lossy-producer counterpart of Stalls
 	// (blocking Push stalls; non-blocking TryPush rejects).
 	Rejected uint64
+	// Snapshots counts mid-stream Snapshot calls — each one quiesces the
+	// shard workers, so a high rate on a hot pipeline is itself a signal.
+	Snapshots uint64
 	// Shards is the effective shard (worker) count; 1 on the sequential
 	// path.
 	Shards int

@@ -20,6 +20,7 @@ type pipeline[T, S any] struct {
 	apply  func(S, T)
 	sh     *sharder[T, S]
 	pairs  uint64
+	snaps  uint64
 }
 
 // newPipeline builds the execution strategy selected by cfg, constructing
@@ -85,6 +86,7 @@ func (p *pipeline[T, S]) samplers() []S {
 	if p.closed {
 		panic("engine: Snapshot after Close")
 	}
+	p.snaps++
 	if p.inline {
 		return []S{p.seq}
 	}
@@ -107,7 +109,7 @@ func (p *pipeline[T, S]) close() []S {
 // Stats returns the pipeline's throughput and backpressure counters. Like
 // Push, it must be called from the producer goroutine (or after Close).
 func (p *pipeline[T, S]) Stats() Stats {
-	st := Stats{Pairs: p.pairs, Shards: 1}
+	st := Stats{Pairs: p.pairs, Shards: 1, Snapshots: p.snaps}
 	if p.sh != nil {
 		st.Shards = len(p.sh.chans)
 		st.QueueDepth = p.sh.depth

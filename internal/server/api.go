@@ -15,6 +15,9 @@ type MultiPostResult = api.MultiPostResult
 // HealthResult = api.HealthResult.
 type HealthResult = api.HealthResult
 
+// EngineStatus = api.EngineStatus.
+type EngineStatus = api.EngineStatus
+
 // StoreStatus = api.StoreStatus.
 type StoreStatus = api.StoreStatus
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/sampling"
 )
 
@@ -178,15 +179,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// server's config (set sampling is stateless and needs no pipeline).
 	var push func(h dataset.Key, v float64)
 	var finish func() core.Summary
+	var stats func() engine.Stats // nil for set, which bypasses the engine
 	switch p.kind {
 	case "pps":
 		st := p.summ.StreamPPS(s.cfg, p.instance, p.tau)
 		push = st.Push
 		finish = func() core.Summary { return st.Close() }
+		stats = st.Stats
 	case "bottomk":
 		st := p.summ.StreamBottomK(s.cfg, p.instance, p.k, p.fam)
 		push = st.Push
 		finish = func() core.Summary { return st.Close() }
+		stats = st.Stats
 	case "set":
 		st := p.summ.StreamSet(p.instance, p.p)
 		push = func(h dataset.Key, _ float64) { st.Push(h) }
@@ -195,6 +199,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	pairs, err := scanPairs(http.MaxBytesReader(w, r.Body, maxIngestBody), p.format, p.kind == "set", push)
 	// The samplers hold goroutines under a parallel config; always drain.
 	sum := finish()
+	// Fold the pipeline's final counters into the server totals — the
+	// one-shot read of the Stats() seam (safe after Close), so the hot
+	// loop itself carries no instrumentation. A failed scan still did
+	// this much pipeline work; record it either way.
+	if stats != nil {
+		s.engine.record(stats())
+	} else {
+		s.engine.ingests.Add(1)
+	}
 	if err != nil {
 		writeError(w, err)
 		return
@@ -297,19 +310,24 @@ func (s *Server) handleIngestMulti(w http.ResponseWriter, r *http.Request) {
 	}
 	var push func(i int, h dataset.Key, v float64)
 	var finish func() []core.Summary
+	var stats func() engine.Stats
 	switch p.kind {
 	case "pps":
 		st := p.summ.StreamMultiPPS(s.cfg, p.instances, p.taus)
 		push = st.Push
 		finish = func() []core.Summary { return asSummaries(st.Close()) }
+		stats = st.Stats
 	case "bottomk":
 		st := p.summ.StreamMultiBottomK(s.cfg, p.instances, p.k, p.fam)
 		push = st.Push
 		finish = func() []core.Summary { return asSummaries(st.Close()) }
+		stats = st.Stats
 	}
 	pairs, err := scanMultiPairs(http.MaxBytesReader(w, r.Body, maxIngestBody), p.format, p.index, push)
-	// The samplers hold goroutines under a parallel config; always drain.
+	// The samplers hold goroutines under a parallel config; always drain,
+	// then fold the pipeline's final counters into the server totals.
 	sums := finish()
+	s.engine.record(stats())
 	if err != nil {
 		writeError(w, err)
 		return

@@ -1,0 +1,338 @@
+package server
+
+import (
+	"fmt"
+	"log/slog"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// This file is the server's observability layer: an Observer wraps the
+// request mux with a middleware that measures every request (count,
+// latency, in-flight, request/response bytes, status class — all
+// per-endpoint), assigns a request ID propagated as X-Request-ID, and
+// emits one structured log line per request. It also bridges the ingest
+// engine's Stats() seam into the metrics registry: pipelines stay
+// completely uninstrumented (zero overhead in the sampling hot loop) and
+// the server accumulates each request's final counters once, after the
+// pipeline closes.
+
+// endpointLabel buckets a request path into the fixed per-endpoint label
+// vocabulary. Unknown paths collapse into "other" so a probe scan cannot
+// mint unbounded series.
+func endpointLabel(path string) string {
+	switch path {
+	case "/healthz", "/metrics", "/v1/datasets", "/v1/summaries",
+		"/v1/ingest", "/v1/ingest/multi", "/v1/query":
+		return path
+	}
+	return "other"
+}
+
+// instrumentedEndpoints is every endpointLabel value, the construction
+// vocabulary for per-endpoint series.
+var instrumentedEndpoints = []string{
+	"/healthz", "/metrics", "/v1/datasets", "/v1/summaries",
+	"/v1/ingest", "/v1/ingest/multi", "/v1/query", "other",
+}
+
+// statusClasses are the response status classes, indexed by code/100-1.
+var statusClasses = [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// endpointMetrics are one endpoint's pre-constructed series; per-request
+// work is pure atomic updates, never registry lookups or label
+// formatting.
+type endpointMetrics struct {
+	requests  [5]*obs.Counter // by status class
+	duration  *obs.Histogram
+	reqBytes  *obs.Counter
+	respBytes *obs.Counter
+}
+
+// Observer instruments one Server: construct it with NewObserver, hand
+// it to server.New via WithObserver, and expose its registry with
+// WithMetricsEndpoint (or mount Registry().Handler() elsewhere). One
+// Observer serves exactly one Server — its engine and dataset series
+// read that server's state.
+type Observer struct {
+	reg       *obs.Registry
+	log       *slog.Logger
+	slow      time.Duration
+	bound     bool
+	inFlight  *obs.Gauge
+	endpoints map[string]*endpointMetrics
+	idBase    string
+	idSeq     atomic.Uint64
+}
+
+// ObserverOption configures an Observer at construction.
+type ObserverOption func(*Observer)
+
+// WithRequestLogger sets the logger receiving the per-request structured
+// line (request_id, method, path, status, duration, bytes). Without it
+// requests are measured but not logged — the quiet default for embedded
+// and test servers; summaryd always passes its process logger.
+func WithRequestLogger(l *slog.Logger) ObserverOption {
+	return func(o *Observer) { o.log = l }
+}
+
+// WithSlowRequest sets the duration at or above which a request's log
+// line is emitted at Warn level with slow=true instead of Info — the
+// operator's tail-latency tripwire. Zero or negative disables the
+// escalation. The default is one second.
+func WithSlowRequest(d time.Duration) ObserverOption {
+	return func(o *Observer) { o.slow = d }
+}
+
+// NewObserver builds an observer over the given metrics registry,
+// pre-registering every per-endpoint HTTP series. A nil registry is
+// legal: the instruments are nil no-ops and only the request log (if a
+// logger is set) remains active.
+func NewObserver(reg *obs.Registry, opts ...ObserverOption) *Observer {
+	o := &Observer{
+		reg:    reg,
+		slow:   time.Second,
+		idBase: fmt.Sprintf("%08x-", rand.Uint32()),
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	o.inFlight = reg.Gauge("summaryd_http_requests_in_flight",
+		"Requests currently being served.", nil)
+	o.endpoints = make(map[string]*endpointMetrics, len(instrumentedEndpoints))
+	for _, ep := range instrumentedEndpoints {
+		m := &endpointMetrics{
+			duration: reg.Histogram("summaryd_http_request_duration_seconds",
+				"Request latency by endpoint.", obs.Labels{"endpoint": ep}, nil),
+			reqBytes: reg.Counter("summaryd_http_request_bytes_total",
+				"Request body bytes read, by endpoint.", obs.Labels{"endpoint": ep}),
+			respBytes: reg.Counter("summaryd_http_response_bytes_total",
+				"Response body bytes written, by endpoint.", obs.Labels{"endpoint": ep}),
+		}
+		for i, class := range statusClasses {
+			m.requests[i] = reg.Counter("summaryd_http_requests_total",
+				"Requests served, by endpoint and status class.",
+				obs.Labels{"endpoint": ep, "code": class})
+		}
+		o.endpoints[ep] = m
+	}
+	return o
+}
+
+// Registry returns the metrics registry the observer reports into (nil
+// when constructed without one).
+func (o *Observer) Registry() *obs.Registry { return o.reg }
+
+// bindServer registers the series that read one server's state: the
+// engine totals accumulated from every ingest pipeline's Stats(), and
+// the dataset count. Called by server.New; binding one observer to two
+// servers would double-register and panics in the obs registry.
+func (o *Observer) bindServer(s *Server) {
+	if o.bound {
+		panic("server: one Observer cannot instrument two servers")
+	}
+	o.bound = true
+	reg := o.reg
+	reg.CounterFunc("summaryd_engine_pairs_total",
+		"Raw pairs pushed through ingest engine pipelines.", nil, s.engine.pairs.Load)
+	reg.CounterFunc("summaryd_engine_batches_total",
+		"Batches handed to engine shard workers.", nil, s.engine.batches.Load)
+	reg.CounterFunc("summaryd_engine_stalls_total",
+		"Push handoffs that blocked on a full shard queue (backpressure).", nil, s.engine.stalls.Load)
+	reg.CounterFunc("summaryd_engine_rejected_total",
+		"Arrivals refused by non-blocking TryPush on a full shard queue.", nil, s.engine.rejected.Load)
+	reg.CounterFunc("summaryd_engine_snapshots_total",
+		"Mid-stream engine pipeline snapshots (each quiesces the workers).", nil, s.engine.snapshots.Load)
+	reg.CounterFunc("summaryd_engine_ingests_total",
+		"Completed raw-ingest requests (set-kind ingests included).", nil, s.engine.ingests.Load)
+	reg.GaugeFunc("summaryd_engine_shards",
+		"Configured engine shard (worker) count.", nil,
+		func() float64 { return float64(s.cfg.NumShards()) })
+	reg.GaugeFunc("summaryd_engine_queue_depth",
+		"Configured per-shard queue capacity in batches (0 = no queues).", nil,
+		func() float64 { return float64(s.engineQueueDepth()) })
+	reg.GaugeFunc("summaryd_datasets",
+		"Registered datasets.", nil,
+		func() float64 { return float64(s.reg.Count()) })
+}
+
+// intercept is the request middleware: measure, tag, serve, log.
+func (o *Observer) intercept(next http.Handler, w http.ResponseWriter, r *http.Request) {
+	ep := endpointLabel(r.URL.Path)
+	m := o.endpoints[ep]
+	rid := o.requestID(r)
+	// The ID goes out before the handler runs so even a panic-500 or a
+	// streamed response carries it; the log line below closes the loop.
+	w.Header().Set("X-Request-ID", rid)
+
+	body := &countingReader{rc: r.Body}
+	r.Body = body
+	sw := &statusWriter{ResponseWriter: w}
+	o.inFlight.Inc()
+	start := time.Now()
+	next.ServeHTTP(sw, r)
+	dur := time.Since(start)
+	o.inFlight.Dec()
+
+	status := sw.status()
+	class := status/100 - 1
+	if class < 0 || class >= len(statusClasses) {
+		class = 4 // out-of-band codes count as server errors
+	}
+	m.requests[class].Inc()
+	m.duration.ObserveDuration(dur)
+	m.reqBytes.Add(uint64(body.n))
+	m.respBytes.Add(uint64(sw.n))
+
+	if o.log == nil {
+		return
+	}
+	slow := o.slow > 0 && dur >= o.slow
+	lvl := slog.LevelInfo
+	if slow {
+		lvl = slog.LevelWarn
+	}
+	if !o.log.Enabled(r.Context(), lvl) {
+		return
+	}
+	o.log.LogAttrs(r.Context(), lvl, "request",
+		slog.String("request_id", rid),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("endpoint", ep),
+		slog.Int("status", status),
+		slog.Duration("duration", dur),
+		slog.Int64("bytes_in", body.n),
+		slog.Int64("bytes_out", sw.n),
+		slog.Bool("slow", slow),
+	)
+}
+
+// requestID returns the request's correlation ID: a sane inbound
+// X-Request-ID is honored (so a fronting proxy's ID threads through the
+// whole line of servers), anything else gets a fresh process-unique ID —
+// a random boot prefix plus a sequence number, cheap enough for the
+// per-request path.
+func (o *Observer) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 64 && cleanASCII(id) {
+		return id
+	}
+	return o.idBase + strconv.FormatUint(o.idSeq.Add(1), 36)
+}
+
+// cleanASCII reports whether an inbound ID is printable ASCII — anything
+// else is dropped rather than reflected into headers and logs.
+func cleanASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x21 || s[i] > 0x7e {
+			return false
+		}
+	}
+	return true
+}
+
+// countingReader counts the request body bytes the handler actually
+// read.
+type countingReader struct {
+	rc interface {
+		Read([]byte) (int, error)
+		Close() error
+	}
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) Close() error { return c.rc.Close() }
+
+// statusWriter records the response status and body size on the way
+// through.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+	n    int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.n += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer so streamed summary fetches
+// keep flowing through the instrumented path.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// status is the recorded response code (an implicit 200 when the handler
+// wrote nothing).
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// engineTotals accumulates every ingest pipeline's final Stats() — the
+// zero-overhead instrumentation seam: the pipeline itself is untouched,
+// and the server adds its counters exactly once, after Close.
+type engineTotals struct {
+	pairs, batches, stalls, rejected, snapshots, ingests atomic.Uint64
+}
+
+// record folds one completed pipeline's counters into the totals.
+func (t *engineTotals) record(st engine.Stats) {
+	t.pairs.Add(st.Pairs)
+	t.batches.Add(st.Batches)
+	t.stalls.Add(st.Stalls)
+	t.rejected.Add(st.Rejected)
+	t.snapshots.Add(st.Snapshots)
+	t.ingests.Add(1)
+}
+
+// engineQueueDepth resolves the configured per-shard queue capacity: 0
+// on the in-line sequential path, which has no queues.
+func (s *Server) engineQueueDepth() int {
+	if s.cfg.NumShards() > 1 || s.cfg.Async {
+		return s.cfg.EffectiveQueueDepth()
+	}
+	return 0
+}
+
+// engineStatus builds the /healthz engine block from the accumulated
+// totals.
+func (s *Server) engineStatus() *EngineStatus {
+	return &EngineStatus{
+		Pairs:      s.engine.pairs.Load(),
+		Batches:    s.engine.batches.Load(),
+		Stalls:     s.engine.stalls.Load(),
+		Rejected:   s.engine.rejected.Load(),
+		Snapshots:  s.engine.snapshots.Load(),
+		Ingests:    s.engine.ingests.Load(),
+		Shards:     s.cfg.NumShards(),
+		QueueDepth: s.engineQueueDepth(),
+	}
+}

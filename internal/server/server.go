@@ -39,6 +39,15 @@ type Server struct {
 	mux         *http.ServeMux
 	defaultWire core.Codec
 	storeStatus func() StoreStatus
+	obs         *Observer
+	metricsOn   bool
+	// wireVersions caches core.SupportedWireVersions() — the registered
+	// codec set is fixed after init, and /healthz is probed constantly;
+	// rebuilding the slice per probe was pure allocation.
+	wireVersions []int
+	// engine accumulates every ingest pipeline's final Stats() for
+	// /healthz and the metrics registry.
+	engine engineTotals
 }
 
 // Option configures a Server at construction.
@@ -66,6 +75,24 @@ func WithStoreStatus(status func() StoreStatus) Option {
 	return func(s *Server) { s.storeStatus = status }
 }
 
+// WithObserver instruments the server: every request flows through the
+// observer's middleware (per-endpoint metrics, X-Request-ID assignment,
+// structured request logs), and the observer's registry gains the
+// engine-totals and dataset series. Without this option the server is
+// entirely unobserved — the in-process and test path pays nothing, not
+// even a wrapper allocation per request. One observer serves one server.
+func WithObserver(o *Observer) Option {
+	return func(s *Server) { s.obs = o }
+}
+
+// WithMetricsEndpoint mounts GET /metrics on the server's mux, serving
+// the observer's registry in the Prometheus text exposition format. It
+// requires WithObserver (New panics otherwise — exposing an endpoint
+// with nothing behind it is a construction-time misconfiguration).
+func WithMetricsEndpoint() Option {
+	return func(s *Server) { s.metricsOn = true }
+}
+
 // New builds a server around a registry. The engine config selects the
 // summarization strategy of the ingest path (zero value = sequential; see
 // engine.Config for the sharded variants). New panics on an invalid
@@ -78,18 +105,26 @@ func New(reg *Registry, cfg engine.Config, opts ...Option) *Server {
 	}
 	s := &Server{reg: reg, cfg: cfg, mux: http.NewServeMux()}
 	s.defaultWire, _ = core.CodecByVersion(1)
+	// The codec registry is frozen after init; cache the version list so
+	// liveness probes stop re-sorting it per request.
+	s.wireVersions = core.SupportedWireVersions()
 	for _, opt := range opts {
 		opt(s)
 	}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Status plus dataset count: load balancers probe liveness, and
 		// operators get a one-number capacity read plus the codec
-		// vocabulary for free. A durable server additionally reports its
-		// store: WAL extent, last snapshot, what recovery replayed.
+		// vocabulary for free. The engine block is the richer node-health
+		// signal (throughput, backpressure); a durable server additionally
+		// reports its store: WAL extent, last snapshot, what recovery
+		// replayed. Static parts (wire versions) are cached at New —
+		// probes fire often enough that per-probe rebuilds showed up as
+		// allocation (pinned by TestHealthzAllocs).
 		hr := HealthResult{
 			Status:       "ok",
 			Datasets:     s.reg.Count(),
-			WireVersions: core.SupportedWireVersions(),
+			WireVersions: s.wireVersions,
+			Engine:       s.engineStatus(),
 		}
 		if s.storeStatus != nil {
 			st := s.storeStatus()
@@ -103,11 +138,26 @@ func New(reg *Registry, cfg engine.Config, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/ingest/multi", s.handleIngestMulti)
 	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	if s.obs != nil {
+		s.obs.bindServer(s)
+	}
+	if s.metricsOn {
+		if s.obs == nil {
+			panic("server: WithMetricsEndpoint requires WithObserver")
+		}
+		s.mux.Handle("GET /metrics", s.obs.Registry().Handler())
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. With an observer attached every
+// request passes through its middleware; without one the mux is served
+// directly — zero per-request overhead for unobserved servers.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.obs != nil {
+		s.obs.intercept(s.mux, w, r)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 

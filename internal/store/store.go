@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/pkg/api"
 )
 
@@ -74,6 +75,72 @@ type Options struct {
 	// SegmentRecords caps a live segment's record count. Zero means
 	// DefaultSegmentRecords.
 	SegmentRecords int64
+	// Metrics, when set, receives the store's durability series
+	// (summaryd_store_*): WAL append counts/bytes, fsync and snapshot
+	// latency histograms, rotation/compaction/drop counters, and gauges
+	// over the sealed-segment and snapshot-chain state. Nil disables
+	// instrumentation at zero cost (the obs instruments are nil no-ops).
+	// A registry serves one Open: the series register once, so a reopened
+	// store needs a fresh registry.
+	Metrics *obs.Registry
+}
+
+// storeMetrics holds the store's pre-constructed instruments. Every field
+// is nil when Options.Metrics is nil — the obs package makes nil
+// instruments free no-ops, so the hot paths below update them
+// unconditionally.
+type storeMetrics struct {
+	walAppends  *obs.Counter
+	walBytes    *obs.Counter
+	fsync       *obs.Histogram
+	rotations   *obs.Counter
+	snapshots   *obs.Counter
+	snapDur     *obs.Histogram
+	snapDrops   *obs.Counter
+	compactions *obs.Counter
+}
+
+// register builds the store's instruments and the gauges that read its
+// guarded state at exposition time (cheap: one mutex hop per scrape, not
+// per append).
+func (s *Store) registerMetrics(reg *obs.Registry) {
+	s.metrics = storeMetrics{
+		walAppends: reg.Counter("summaryd_store_wal_appends_total",
+			"Records appended to the write-ahead log.", nil),
+		walBytes: reg.Counter("summaryd_store_wal_append_bytes_total",
+			"Bytes appended to the write-ahead log.", nil),
+		fsync: reg.Histogram("summaryd_store_fsync_seconds",
+			"Per-append WAL fsync latency (only under -fsync).", nil, nil),
+		rotations: reg.Counter("summaryd_store_segment_rotations_total",
+			"Live WAL segments sealed and rotated.", nil),
+		snapshots: reg.Counter("summaryd_store_snapshots_total",
+			"Snapshot chain files written successfully.", nil),
+		snapDur: reg.Histogram("summaryd_store_snapshot_seconds",
+			"Background snapshot write duration.", nil, nil),
+		snapDrops: reg.Counter("summaryd_store_snapshot_drops_total",
+			"Automatic snapshots skipped because one was already queued or running.", nil),
+		compactions: reg.Counter("summaryd_store_compactions_total",
+			"Snapshot chains merged into a single full image.", nil),
+	}
+	locked := func(read func() float64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return read()
+		}
+	}
+	reg.GaugeFunc("summaryd_store_sealed_segments",
+		"Sealed, not-yet-snapshotted WAL segments retained on disk.", nil,
+		locked(func() float64 { return float64(len(s.sealed)) }))
+	reg.GaugeFunc("summaryd_store_snapshot_chain_files",
+		"Incremental snapshot chain files recovery would replay.", nil,
+		locked(func() float64 { return float64(len(s.snapSeqs)) }))
+	reg.GaugeFunc("summaryd_store_snapshot_entries",
+		"Summaries held by the on-disk snapshot chain.", nil,
+		locked(func() float64 { return float64(s.snapEntries) }))
+	reg.GaugeFunc("summaryd_store_quarantined_files",
+		"Files recovery could not account for and quarantined.", nil,
+		locked(func() float64 { return float64(s.quarantined) }))
 }
 
 // segMeta describes one sealed segment the store still retains: it holds
@@ -101,9 +168,10 @@ type snapJob struct {
 // registry additionally serializes Append calls under its own lock, which
 // is what makes WAL order identical to registry apply order.
 type Store struct {
-	dir   string
-	opts  Options
-	codec core.Codec
+	dir     string
+	opts    Options
+	codec   core.Codec
+	metrics storeMetrics
 
 	mu     sync.Mutex
 	closed bool
@@ -184,6 +252,7 @@ func Open(dir string, opts Options, apply func(dataset string, s core.Summary) e
 
 	s := &Store{dir: dir, opts: opts, codec: codec, lock: lock}
 	s.snapCond = sync.NewCond(&s.mu)
+	s.registerMetrics(opts.Metrics)
 
 	if err := s.migrateLegacy(); err != nil {
 		return nil, err
@@ -539,6 +608,7 @@ func (s *Store) Append(dataset string, sum core.Summary) (snapshotDue bool, err 
 		return false, err
 	}
 	if s.opts.Fsync {
+		fsyncStart := time.Now()
 		if err := live.f.Sync(); err != nil {
 			// The record is fully framed on disk, but this error makes the
 			// caller roll the registration back and fail the request — so
@@ -556,9 +626,12 @@ func (s *Store) Append(dataset string, sum core.Summary) (snapshotDue bool, err 
 			live.w.end = prevEnd
 			return false, fmt.Errorf("store: syncing WAL: %w", err)
 		}
+		s.metrics.fsync.ObserveSince(fsyncStart)
 	}
 	live.records++
 	s.sinceSnapshot++
+	s.metrics.walAppends.Inc()
+	s.metrics.walBytes.Add(uint64(live.w.end - prevEnd))
 	return s.opts.SnapshotEvery > 0 && s.sinceSnapshot >= s.opts.SnapshotEvery, nil
 }
 
@@ -588,6 +661,7 @@ func (s *Store) rotateLocked() error {
 	s.sealed = append(s.sealed, segMeta{seq: live.seq, records: live.records, bytes: live.w.end - magicLen})
 	live.f.Close()
 	s.live = next
+	s.metrics.rotations.Inc()
 	return nil
 }
 
@@ -621,6 +695,7 @@ func (s *Store) Snapshot(dump func(emit func(dataset string, sum core.Summary) e
 	s.sinceSnapshot = 0
 	if !syncWait && s.pending > 0 {
 		s.mu.Unlock()
+		s.metrics.snapDrops.Inc()
 		commit(false)
 		return nil, nil
 	}
@@ -695,6 +770,7 @@ func (s *Store) worker() {
 // the chain file is durable, so a crash at any point leaves a directory
 // that recovers to the same state.
 func (s *Store) writeSnapshot(job *snapJob) error {
+	snapStart := time.Now()
 	s.mu.Lock()
 	chain := append([]int64(nil), s.snapSeqs...)
 	s.mu.Unlock()
@@ -782,6 +858,11 @@ func (s *Store) writeSnapshot(job *snapJob) error {
 	}
 	if merge || len(goneSegs) > 0 {
 		syncDir(s.dir)
+	}
+	s.metrics.snapshots.Inc()
+	s.metrics.snapDur.ObserveSince(snapStart)
+	if merge {
+		s.metrics.compactions.Inc()
 	}
 	return nil
 }

@@ -171,8 +171,11 @@ func (c *Client) post(ctx context.Context, path string, q url.Values, contentTyp
 	return c.do(req, out)
 }
 
-// Health probes GET /healthz, returning the server's liveness payload
-// (status plus registered-dataset count).
+// Health probes GET /healthz, returning the server's liveness payload:
+// status, registered-dataset count, supported wire versions, the ingest
+// engine's accumulated throughput/backpressure counters (Engine), and —
+// when the server runs with a durability directory — the store's WAL and
+// snapshot state (Store).
 func (c *Client) Health(ctx context.Context) (api.HealthResult, error) {
 	var out api.HealthResult
 	err := c.get(ctx, "/healthz", nil, &out)
