@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/aggregate"
@@ -329,6 +330,67 @@ func BenchmarkStreamBottomKPush(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamBottomKReject isolates the full-sampler reject path — the
+// common case once k items are retained — per rank family: one seed hash,
+// one multiply, one compare, no heap or map traffic, 0 allocs/op. The EXP
+// variant is the one the threshold fast-reject transforms: the uniform
+// draw rejects before the logarithm is taken.
+func BenchmarkStreamBottomKReject(b *testing.B) {
+	for _, fam := range []sampling.RankFamily{sampling.PPS{}, sampling.EXP{}} {
+		b.Run(fam.Name(), func(b *testing.B) {
+			seeder := xhash.Seeder{Salt: 6}
+			seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+			s := sampling.NewStreamBottomK(256, fam, seed)
+			for k := dataset.Key(1); k <= 4096; k++ {
+				s.Push(k, 1000)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Tiny values rank far above tau: every arrival rejects.
+				s.Push(dataset.Key(1000000+i%1024), 1e-9)
+			}
+		})
+	}
+}
+
+// BenchmarkStreamBottomKEvict isolates the full-sampler accept path:
+// every arrival ranks below tau, so each push pays the exact rank, one
+// map delete + insert at steady size, and an O(log k) heap sift — still
+// 0 allocs/op. Together with the reject benchmark this brackets the
+// full sampler's per-arrival cost. Always-evict streams cannot run
+// forever (tau only decreases), so the keys are pushed in descending
+// rank order — every arrival out-ranks the whole retained sample — and
+// the sampler is rebuilt outside the timer once per key-pool cycle.
+func BenchmarkStreamBottomKEvict(b *testing.B) {
+	for _, fam := range []sampling.RankFamily{sampling.PPS{}, sampling.EXP{}} {
+		b.Run(fam.Name(), func(b *testing.B) {
+			seeder := xhash.Seeder{Salt: 6}
+			seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+			const m = 1 << 16
+			keys := make([]dataset.Key, m)
+			for i := range keys {
+				keys[i] = dataset.Key(i + 1)
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				return fam.Rank(seed(keys[i]), 1000) > fam.Rank(seed(keys[j]), 1000)
+			})
+			var s *sampling.StreamBottomK
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := i % m
+				if j == 0 {
+					b.StopTimer()
+					s = sampling.NewStreamBottomK(256, fam, seed)
+					b.StartTimer()
+				}
+				s.Push(keys[j], 1000)
+			}
+		})
+	}
+}
+
 // BenchmarkTauForExpectedSize measures the threshold solver.
 func BenchmarkTauForExpectedSize(b *testing.B) {
 	in := benchInstance(10000)
@@ -424,6 +486,24 @@ func BenchmarkEngineAsync(b *testing.B) {
 			b.ReportMetric(float64(stalls)/float64(b.N), "stalls/op")
 		})
 	}
+	// The steady sub-benchmark measures the long-lived producer path: one
+	// async engine reused across iterations, each op pushing the full
+	// 1M-pair stream. With the sync.Pool batch arena recycling slices from
+	// the shard workers back to the producer, allocs/op must be 0 at
+	// steady state.
+	b.Run("steady", func(b *testing.B) {
+		cfg := engine.Config{Parallel: true, Shards: 4, Async: true}
+		e := engine.NewBottomK(4096, sampling.PPS{}, seed, cfg)
+		e.PushBatch(pairs) // warm: fill the samplers and the batch arena
+		b.SetBytes(int64(len(pairs)) * 16)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.PushBatch(pairs)
+		}
+		b.StopTimer()
+		sinkF += e.Close().Tau
+	})
 }
 
 // BenchmarkEngineMultiBottomK measures one-pass multi-instance bottom-k

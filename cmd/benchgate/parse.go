@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measured cost, minimized over repetitions.
+type Result struct {
+	Name        string
+	NsPerOp     float64
+	AllocsPerOp int64
+	HasAllocs   bool
+	Runs        int
+}
+
+// benchLine matches the standard `go test -bench` result line:
+//
+//	BenchmarkName[/sub...][-N]  iters  123.4 ns/op [ 56 B/op  7 allocs/op  ...]
+//
+// The trailing -N is the GOMAXPROCS suffix; it is stripped so results
+// compare across machines with different core counts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+(.*)$`)
+
+// ParseBench reads `go test -bench` text output, keeping only benchmark
+// result lines. Repetitions of the same benchmark (-count > 1) are
+// folded: minimum ns/op (least scheduler noise), maximum allocs/op
+// (allocation counts are deterministic, so any disagreement must fail
+// against a baseline rather than being averaged away).
+func ParseBench(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		res, err := parseMeasurements(m[1], m[4])
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", line, err)
+		}
+		out[res.Name] = mergeResult(out[res.Name], res)
+	}
+	return out, sc.Err()
+}
+
+// parseMeasurements parses the "value unit" pairs after the iteration
+// count. Units other than ns/op and allocs/op (B/op, MB/s, custom
+// b.ReportMetric units) are ignored.
+func parseMeasurements(name, rest string) (Result, error) {
+	fields := strings.Fields(rest)
+	if len(fields)%2 != 0 {
+		return Result{}, fmt.Errorf("odd measurement fields %q", rest)
+	}
+	res := Result{Name: name, Runs: 1}
+	seenNs := false
+	for i := 0; i < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Result{}, fmt.Errorf("ns/op %q: %w", val, err)
+			}
+			res.NsPerOp = v
+			seenNs = true
+		case "allocs/op":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Result{}, fmt.Errorf("allocs/op %q: %w", val, err)
+			}
+			res.AllocsPerOp = v
+			res.HasAllocs = true
+		}
+	}
+	if !seenNs {
+		return Result{}, fmt.Errorf("no ns/op measurement")
+	}
+	return res, nil
+}
+
+// mergeResult folds a repetition into the accumulated result. The zero
+// Result (Runs == 0) acts as the identity.
+func mergeResult(acc, r Result) Result {
+	if acc.Runs == 0 {
+		return r
+	}
+	acc.Runs += r.Runs
+	if r.NsPerOp < acc.NsPerOp {
+		acc.NsPerOp = r.NsPerOp
+	}
+	if r.HasAllocs {
+		acc.HasAllocs = true
+		if r.AllocsPerOp > acc.AllocsPerOp {
+			acc.AllocsPerOp = r.AllocsPerOp
+		}
+	}
+	return acc
+}

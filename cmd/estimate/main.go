@@ -7,22 +7,30 @@
 //
 //	estimate -query maxdominance a.json b.json
 //	estimate -query distinct     a.json b.json
+//	estimate -query sum          a.json # single-summary subset-sum estimate
 //	estimate -demo                      # generate, serialize, and query a demo pair
 //	estimate -demo -wire 2              # serialize the demo pair in the v2 binary format
 //	estimate -demo -shards 4 -batch 512 # demo summarization through the sharded engine
 //	estimate -demo -shards 4 -async -queue 16 # async engine: bounded queues
+//	estimate -demo -query sum -sampler varopt # VarOpt_k reservoir demo
 //
-// -shards selects the summarization strategy for the maxdominance -demo's
-// PPS summaries: 1 (default) runs the sequential pipeline, n>1 uses n
-// hash-partitioned shards, 0 one shard per CPU. -batch sizes the
-// per-shard arrival batches; -async runs the engine's async mode with
-// bounded per-shard queues of -queue batches. Negative values are
-// rejected with exit 2 through engine.Config.Validate — the one rule
-// every front door shares; 0 always means "use the default". The summary
-// is identical for every setting; only throughput changes. The distinct
-// demo's set summaries do not route through the engine (set sampling is
-// stateless), so non-default flags are rejected there rather than
-// silently ignored.
+// -shards selects the summarization strategy for the engine-backed demos
+// (maxdominance's PPS summaries and sum's PPS or VarOpt summary): 1
+// (default) runs the sequential pipeline, n>1 uses n hash-partitioned
+// shards, 0 one shard per CPU. -batch sizes the per-shard arrival
+// batches; -async runs the engine's async mode with bounded per-shard
+// queues of -queue batches. Negative values are rejected with exit 2
+// through engine.Config.Validate — the one rule every front door shares;
+// 0 always means "use the default". The summary is identical for every
+// setting; only throughput changes (for VarOpt, identical in
+// distribution — the reservoir's drop decisions are randomized). The
+// distinct demo's set summaries do not route through the engine (set
+// sampling is stateless), so non-default flags are rejected there rather
+// than silently ignored.
+//
+// -sampler picks the sum demo's summary kind: pps (default, threshold
+// sampling sized to ~200 expected keys) or varopt (a VarOpt_k reservoir
+// of exactly 200 keys — the variance-optimal fixed-size scheme).
 //
 // -wire selects the serialization of the -demo summary files: 1 (the
 // default) writes the JSON wire format, 2 the compact binary v2 format.
@@ -45,8 +53,9 @@ import (
 )
 
 func main() {
-	query := flag.String("query", "maxdominance", "query to run: maxdominance or distinct")
+	query := flag.String("query", "maxdominance", "query to run: maxdominance, distinct, or sum")
 	demo := flag.Bool("demo", false, "write a demo summary pair to the working directory and query it")
+	sampler := flag.String("sampler", "pps", "summary kind for the sum demo: pps or varopt")
 	shards := flag.Int("shards", 1, "summarization shards for -demo: 1 sequential, n>1 hash-partitioned, 0 per-CPU")
 	batch := flag.Int("batch", engine.DefaultBatchSize, "per-shard batch size for -demo")
 	async := flag.Bool("async", false, "run the -demo engine in async mode (bounded per-shard queues)")
@@ -76,28 +85,59 @@ func main() {
 		os.Exit(2)
 	}
 	engineFlagsSet := *shards != 1 || *batch != engine.DefaultBatchSize || *async || *queue != 0
-	if engineFlagsSet && (!*demo || *query != "maxdominance") {
-		fmt.Fprintln(os.Stderr, "estimate: -shards/-batch/-async/-queue only apply to the maxdominance demo's PPS summarization")
+	if engineFlagsSet && (!*demo || (*query != "maxdominance" && *query != "sum")) {
+		fmt.Fprintln(os.Stderr, "estimate: -shards/-batch/-async/-queue only apply to the engine-backed demos (maxdominance, sum)")
+		os.Exit(2)
+	}
+	if *sampler != "pps" && *sampler != "varopt" {
+		fmt.Fprintf(os.Stderr, "estimate: unknown -sampler %q (pps, varopt)\n", *sampler)
+		os.Exit(2)
+	}
+	if *sampler != "pps" && (!*demo || *query != "sum") {
+		fmt.Fprintln(os.Stderr, "estimate: -sampler only applies to the sum demo (query inputs carry their kind)")
 		os.Exit(2)
 	}
 	if *demo {
-		if err := runDemo(*query, cfg, *wire); err != nil {
+		if err := runDemo(*query, *sampler, cfg, *wire); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "need exactly two summary files (or -demo)")
+	want := 2
+	if *query == "sum" {
+		want = 1
+	}
+	if flag.NArg() != want {
+		fmt.Fprintf(os.Stderr, "need exactly %d summary file(s) (or -demo)\n", want)
 		os.Exit(2)
 	}
-	if err := run(*query, flag.Arg(0), flag.Arg(1)); err != nil {
+	if err := run(*query, flag.Args()...); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(query, file1, file2 string) error {
+func run(query string, files ...string) error {
+	if query == "sum" {
+		data, err := os.ReadFile(files[0])
+		if err != nil {
+			return err
+		}
+		sum, err := core.DecodeSummary(data)
+		if err != nil {
+			return err
+		}
+		est, ok := sum.(interface {
+			SubsetSum(func(dataset.Key) bool) float64
+		})
+		if !ok {
+			return fmt.Errorf("sum not supported for %s summaries", sum.Kind())
+		}
+		fmt.Printf("subset sum (%s, %d keys):\n  estimate = %.6g\n", sum.Kind(), sum.Size(), est.SubsetSum(nil))
+		return nil
+	}
+	file1, file2 := files[0], files[1]
 	d1, err := os.ReadFile(file1)
 	if err != nil {
 		return err
@@ -141,7 +181,7 @@ func run(query, file1, file2 string) error {
 	return nil
 }
 
-func runDemo(query string, cfg engine.Config, wire int) error {
+func runDemo(query, sampler string, cfg engine.Config, wire int) error {
 	dir, err := os.MkdirTemp("", "estimate-demo-")
 	if err != nil {
 		return err
@@ -190,6 +230,20 @@ func runDemo(query string, cfg engine.Config, wire int) error {
 		}
 		fmt.Printf("wrote %s, %s\n", paths[0], paths[1])
 		fmt.Printf("truth: %d\n", len(m.Keys()))
+	case "sum":
+		var sum core.Summary
+		if sampler == "varopt" {
+			sum = s.SummarizeVarOptWith(cfg, 0, m.Instances[0], 200)
+		} else {
+			sum = s.SummarizePPSExpectedSizeWith(cfg, 0, m.Instances[0], 200)
+		}
+		path, err := writeSummary(0, sum)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		fmt.Printf("truth: %.6g\n", m.Instances[0].Total())
+		return run(query, path)
 	default:
 		return fmt.Errorf("unknown query %q", query)
 	}

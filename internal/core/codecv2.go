@@ -23,7 +23,7 @@ import (
 //	0       1     magic 0xCB
 //	1       1     magic 0x53
 //	2       1     wire version (2)
-//	3       1     kind tag: 1 = pps, 2 = set, 3 = bottomk
+//	3       1     kind tag: 1 = pps, 2 = set, 3 = bottomk, 4 = varopt
 //	4       1     flags: bit 0 = shared (coordinated) seeds; others must be 0
 //	5       8     salt, uint64 little-endian
 //	13      var   instance, signed varint (zigzag)
@@ -33,9 +33,11 @@ import (
 //	              bottomk  rank family (1 = pps, 2 = exp), then tau float64
 //	                       (+Inf encodes the unbounded threshold directly —
 //	                       no JSON-style zero sentinel)
+//	              varopt   tau, float64 little-endian (0 = never overflowed)
 //	...     var   entry count, unsigned varint
 //	...     n×    entries, fixed width little-endian:
 //	              pps/bottomk  key uint64, value float64   (16 bytes)
+//	              varopt       key uint64, original weight (16 bytes)
 //	              set          key uint64                  (8 bytes)
 //
 // Entries are written in ascending key order, so equal summaries encode to
@@ -56,6 +58,7 @@ const (
 	v2KindPPS     = 1
 	v2KindSet     = 2
 	v2KindBottomK = 3
+	v2KindVarOpt  = 4
 )
 
 // v2 rank-family tags (bottom-k only).
@@ -113,6 +116,11 @@ func (binaryCodecV2) EncodeTo(w io.Writer, s Summary) error {
 func encodeSummaryV2(dst io.Writer, s Summary) error {
 	w := &v2Writer{w: dst}
 	switch t := s.(type) {
+	case interface{ wireBytes() []byte }:
+		// Zero-copy views were parsed from a validated CANONICAL v2 message
+		// (ParseSummaryView accepts nothing else), so re-encoding is a raw
+		// byte copy of exactly what any other branch would re-derive.
+		w.write(t.wireBytes())
 	case *PPSSummary:
 		w.header(v2KindPPS, t.parent.seeder, t.Instance)
 		w.float64(t.Tau)
@@ -133,6 +141,13 @@ func encodeSummaryV2(dst io.Writer, s Summary) error {
 		}
 		w.float64(t.Sample.Tau)
 		w.weightedEntries(t.Sample.Values)
+	case *VarOptSummary:
+		// Entries carry the ORIGINAL weights; adjusted weights are the
+		// decode-side identity max(w, tau), keeping the entry layout shared
+		// with the other weighted kinds.
+		w.header(v2KindVarOpt, t.parent.seeder, t.Instance)
+		w.float64(t.Sample.Tau)
+		w.weightedEntries(t.Sample.Original)
 	default:
 		return fmt.Errorf("core: v2 encoding of unknown summary kind %q", s.Kind())
 	}
@@ -380,6 +395,23 @@ func decodeSummaryV2(br *bufio.Reader) (Summary, error) {
 		return &BottomKSummary{
 			Instance: int(instance),
 			Sample:   &sampling.WeightedSample{Values: vals, Tau: tau, Family: fam},
+			parent:   parent,
+		}, nil
+	case v2KindVarOpt:
+		tau, err := r.float64()
+		if err != nil {
+			return nil, err
+		}
+		if !(tau >= 0) || math.IsInf(tau, 1) { // 0 (never overflowed) passes; negatives, NaN, +Inf fail
+			return nil, fmt.Errorf("core: invalid varopt threshold %v", tau)
+		}
+		vals, err := r.weightedEntries()
+		if err != nil {
+			return nil, err
+		}
+		return &VarOptSummary{
+			Instance: int(instance),
+			Sample:   varOptSampleFromWire(vals, tau),
 			parent:   parent,
 		}, nil
 	default:

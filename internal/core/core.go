@@ -17,8 +17,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/aggregate"
 	"repro/internal/dataset"
 	"repro/internal/engine"
@@ -26,26 +24,6 @@ import (
 	"repro/internal/sampling"
 	"repro/internal/xhash"
 )
-
-// unionKeys returns the ascending union of the maps' key sets. Query
-// functions sum per-key estimates in this order rather than map order, so
-// a query over the same summaries returns bit-identical floats on every
-// run and on every host — the reproducibility contract the dispersed
-// workflow (and the summary server) relies on.
-func unionKeys[V any](ms ...map[dataset.Key]V) []dataset.Key {
-	seen := make(map[dataset.Key]bool)
-	for _, m := range ms {
-		for h := range m {
-			seen[h] = true
-		}
-	}
-	keys := make([]dataset.Key, 0, len(seen))
-	for h := range seen {
-		keys = append(keys, h)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
-}
 
 // Summarizer holds the shared randomization: a salt defining the random
 // hash functions. Summaries produced with the same Summarizer can be
@@ -128,29 +106,37 @@ type MaxDominanceEstimate struct {
 // MaxDominance estimates Σ_{h∈sel} max(v1(h), v2(h)) from two PPS
 // summaries produced by the same Summarizer.
 func MaxDominance(s1, s2 *PPSSummary, sel func(dataset.Key) bool) (MaxDominanceEstimate, error) {
+	return MaxDominanceReaders(s1, s2, sel)
+}
+
+// MaxDominanceReaders is MaxDominance over the PPSReader seam: it accepts
+// any PPS representation — hydrated summaries or zero-copy v2 views — and
+// answers identically (per-key terms sum in ascending key order either
+// way).
+func MaxDominanceReaders(s1, s2 PPSReader, sel func(dataset.Key) bool) (MaxDominanceEstimate, error) {
 	if err := checkCombinable([]Summary{s1, s2}, 2); err != nil {
 		return MaxDominanceEstimate{}, err
 	}
-	tau := []float64{s1.Tau, s2.Tau}
-	seeder := s1.parent.seeder
+	tau := []float64{s1.PPSTau(), s2.PPSTau()}
+	seeder := s1.seederOf()
 	var out MaxDominanceEstimate
-	for _, h := range unionKeys(s1.Sample.Values, s2.Sample.Values) {
+	for _, h := range unionReaderKeys[PPSReader](s1, s2) {
 		if sel != nil && !sel(h) {
 			continue
 		}
 		o := estimator.PPSOutcome{
 			Tau: tau,
 			U: []float64{
-				seeder.Seed(s1.Instance, uint64(h)),
-				seeder.Seed(s2.Instance, uint64(h)),
+				seeder.Seed(s1.InstanceID(), uint64(h)),
+				seeder.Seed(s2.InstanceID(), uint64(h)),
 			},
 			Sampled: make([]bool, 2),
 			Values:  make([]float64, 2),
 		}
-		if v, ok := s1.Sample.Values[h]; ok {
+		if v, ok := s1.Lookup(h); ok {
 			o.Sampled[0], o.Values[0] = true, v
 		}
-		if v, ok := s2.Sample.Values[h]; ok {
+		if v, ok := s2.Lookup(h); ok {
 			o.Sampled[1], o.Values[1] = true, v
 		}
 		out.HT += estimator.MaxHTPPS(o)
@@ -285,23 +271,29 @@ type DistinctEstimate struct {
 // DistinctCount estimates the number of distinct selected keys across two
 // set summaries produced by the same Summarizer (§8.1).
 func DistinctCount(s1, s2 *SetSummary, sel func(dataset.Key) bool) (DistinctEstimate, error) {
+	return DistinctCountReaders(s1, s2, sel)
+}
+
+// DistinctCountReaders is DistinctCount over the SetReader seam: hydrated
+// summaries and zero-copy v2 views answer identically.
+func DistinctCountReaders(s1, s2 SetReader, sel func(dataset.Key) bool) (DistinctEstimate, error) {
 	if err := checkCombinable([]Summary{s1, s2}, 2); err != nil {
 		return DistinctEstimate{}, err
 	}
-	seeder := s1.parent.seeder
+	seeder := s1.seederOf()
 	var c aggregate.DistinctCounts
-	for _, h := range unionKeys(s1.Members, s2.Members) {
+	for _, h := range unionReaderKeys[SetReader](s1, s2) {
 		if sel != nil && !sel(h) {
 			continue
 		}
 		c.Add(aggregate.Categorize(
-			s1.Members[h], s2.Members[h],
-			seeder.Seed(s1.Instance, uint64(h)),
-			seeder.Seed(s2.Instance, uint64(h)),
-			s1.P, s2.P,
+			s1.Contains(h), s2.Contains(h),
+			seeder.Seed(s1.InstanceID(), uint64(h)),
+			seeder.Seed(s2.InstanceID(), uint64(h)),
+			s1.SetP(), s2.SetP(),
 		))
 	}
-	e := aggregate.DistinctEstimator{P1: s1.P, P2: s2.P}
+	e := aggregate.DistinctEstimator{P1: s1.SetP(), P2: s2.SetP()}
 	return DistinctEstimate{HT: e.HT(c), L: e.L(c), Counts: c}, nil
 }
 

@@ -211,7 +211,8 @@ func decodeBottomKWire(w bottomkWire) (*BottomKSummary, error) {
 type Summary interface {
 	// InstanceID returns the instance index the summary was drawn for.
 	InstanceID() int
-	// Kind returns the wire-format kind tag ("pps", "set", "bottomk").
+	// Kind returns the wire-format kind tag ("pps", "set", "bottomk",
+	// "varopt").
 	Kind() string
 	// Size returns the number of retained keys.
 	Size() int
@@ -299,6 +300,12 @@ func decodeSummaryJSON(data []byte) (Summary, error) {
 			return nil, fmt.Errorf("core: decoding bottom-k summary: %w", err)
 		}
 		return decodeBottomKWire(w)
+	case "varopt":
+		var w varoptWire
+		if err := json.Unmarshal(data, &w); err != nil {
+			return nil, fmt.Errorf("core: decoding varopt summary: %w", err)
+		}
+		return decodeVarOptWire(w)
 	default:
 		// An unrecognized (or missing) kind on an unrecognized version is
 		// a future format: surface the typed version error so callers can

@@ -58,23 +58,34 @@ type MultiDistinctEstimate struct {
 // probabilities); for r > 2 the OR^(L) construction requires a uniform
 // per-member probability across the summaries.
 func DistinctCountMulti(sums []*SetSummary, sel func(dataset.Key) bool) (MultiDistinctEstimate, error) {
+	readers := make([]SetReader, len(sums))
+	for i, s := range sums {
+		readers[i] = s
+	}
+	return DistinctCountMultiReaders(readers, sel)
+}
+
+// DistinctCountMultiReaders is DistinctCountMulti over the SetReader seam:
+// hydrated summaries and zero-copy v2 views answer identically (per-key
+// terms sum in ascending key order either way).
+func DistinctCountMultiReaders(sums []SetReader, sel func(dataset.Key) bool) (MultiDistinctEstimate, error) {
 	if err := checkCombinable(sums, 2); err != nil {
 		return MultiDistinctEstimate{}, err
 	}
 	if len(sums) == 2 {
-		est, err := DistinctCount(sums[0], sums[1], sel)
+		est, err := DistinctCountReaders(sums[0], sums[1], sel)
 		if err != nil {
 			return MultiDistinctEstimate{}, err
 		}
 		return MultiDistinctEstimate{HT: est.HT, L: est.L, KeysUsed: est.Counts.Sampled()}, nil
 	}
 	r := len(sums)
-	p := sums[0].P
+	p := sums[0].SetP()
 	for _, s := range sums[1:] {
-		if s.P != p {
+		if s.SetP() != p {
 			return MultiDistinctEstimate{}, fmt.Errorf(
 				"core: distinct count over %d summaries needs a uniform sampling probability, got %v and %v",
-				r, p, s.P)
+				r, p, s.SetP())
 		}
 	}
 	est, err := estimator.ORLUniform(r, p)
@@ -86,12 +97,8 @@ func DistinctCountMulti(sums []*SetSummary, sel func(dataset.Key) bool) (MultiDi
 	for i := 0; i < r; i++ {
 		htCoeff *= p
 	}
-	members := make([]map[dataset.Key]bool, r)
-	for i, s := range sums {
-		members[i] = s.Members
-	}
 	var out MultiDistinctEstimate
-	for _, h := range unionKeys(members...) {
+	for _, h := range unionReaderKeys(sums...) {
 		if sel != nil && !sel(h) {
 			continue
 		}
@@ -104,10 +111,10 @@ func DistinctCountMulti(sums []*SetSummary, sel func(dataset.Key) bool) (MultiDi
 		allSeedsLow := true
 		for i, s := range sums {
 			o.P[i] = p
-			o.U[i] = seeder.Seed(s.Instance, uint64(h))
+			o.U[i] = seeder.Seed(s.InstanceID(), uint64(h))
 			// Summaries hold the *sampled* members, so membership in the
 			// summary is exactly "member and seed below p".
-			o.Sampled[i] = s.Members[h]
+			o.Sampled[i] = s.Contains(h)
 			if o.Sampled[i] {
 				inAnySample = true
 			}
@@ -145,6 +152,16 @@ type QuantileEstimate struct {
 // conclusion leaves derivation to automated tools — see examples/derive),
 // so the HT baseline is what a query can serve exactly.
 func QuantilePPS(sums []*PPSSummary, h dataset.Key, l int) (QuantileEstimate, error) {
+	readers := make([]PPSReader, len(sums))
+	for i, s := range sums {
+		readers[i] = s
+	}
+	return QuantilePPSReaders(readers, h, l)
+}
+
+// QuantilePPSReaders is QuantilePPS over the PPSReader seam: hydrated
+// summaries and zero-copy v2 views answer identically.
+func QuantilePPSReaders(sums []PPSReader, h dataset.Key, l int) (QuantileEstimate, error) {
 	if err := checkCombinable(sums, 2); err != nil {
 		return QuantileEstimate{}, err
 	}
@@ -161,12 +178,12 @@ func QuantilePPS(sums []*PPSSummary, h dataset.Key, l int) (QuantileEstimate, er
 	}
 	var out QuantileEstimate
 	for i, s := range sums {
-		if s.Tau <= 0 {
-			return QuantileEstimate{}, fmt.Errorf("core: summary of instance %d has non-positive tau %v", s.Instance, s.Tau)
+		if s.PPSTau() <= 0 {
+			return QuantileEstimate{}, fmt.Errorf("core: summary of instance %d has non-positive tau %v", s.InstanceID(), s.PPSTau())
 		}
-		o.Tau[i] = s.Tau
-		o.U[i] = seeder.Seed(s.Instance, uint64(h))
-		if v, ok := s.Sample.Values[h]; ok {
+		o.Tau[i] = s.PPSTau()
+		o.U[i] = seeder.Seed(s.InstanceID(), uint64(h))
+		if v, ok := s.Lookup(h); ok {
 			o.Sampled[i], o.Values[i] = true, v
 			out.Sampled++
 		}

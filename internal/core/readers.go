@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/sampling"
+)
+
+// Reader interfaces are the query-side seam between the estimators and a
+// summary's representation. Every query in core.go/query.go needs only a
+// handful of reads — the kind parameters, a per-key lookup, the retained
+// key set — and those reads have two implementations: the hydrated
+// summary types (map-backed, produced by summarization or a decoding
+// codec) and the zero-copy v2 views of view.go (binary search over wire
+// bytes). Queries written against the readers answer identically over
+// both; the property tests in view_test.go pin that to the bit.
+//
+// Like Summary, the interfaces embed an unexported method, so only this
+// package's types can satisfy them — combinability checks need the
+// underlying seeder either way.
+
+// PPSReader is the read surface of a PPS summary.
+type PPSReader interface {
+	Summary
+	// PPSTau returns the PPS threshold: key h was included iff
+	// v(h) ≥ u(h)·PPSTau().
+	PPSTau() float64
+	// Lookup reports the stored value of key h.
+	Lookup(h dataset.Key) (float64, bool)
+	// AppendKeys appends every retained key to dst (order unspecified).
+	AppendKeys(dst []dataset.Key) []dataset.Key
+	// SubsetSum estimates Σ_{h∈sel} v(h) (nil sel selects all keys),
+	// accumulating in ascending key order.
+	SubsetSum(sel func(dataset.Key) bool) float64
+}
+
+// SetReader is the read surface of a set summary.
+type SetReader interface {
+	Summary
+	// SetP returns the per-member sampling probability.
+	SetP() float64
+	// Contains reports whether key h is a sampled member.
+	Contains(h dataset.Key) bool
+	// AppendKeys appends every sampled member to dst (order unspecified).
+	AppendKeys(dst []dataset.Key) []dataset.Key
+}
+
+// BottomKReader is the read surface of a bottom-k summary.
+type BottomKReader interface {
+	Summary
+	// RankTau returns the rank-conditioning threshold (+Inf = every
+	// positive key retained).
+	RankTau() float64
+	// RankFam returns the rank family the summary was drawn with.
+	RankFam() sampling.RankFamily
+	// Lookup reports the stored value of key h.
+	Lookup(h dataset.Key) (float64, bool)
+	// AppendKeys appends every retained key to dst (order unspecified).
+	AppendKeys(dst []dataset.Key) []dataset.Key
+	// SubsetSum estimates Σ_{h∈sel} v(h) with the rank-conditioning
+	// estimator, accumulating in ascending key order.
+	SubsetSum(sel func(dataset.Key) bool) float64
+}
+
+// VarOptReader is the read surface of a VarOpt_k summary.
+type VarOptReader interface {
+	Summary
+	// VarOptTau returns the final reservoir threshold (0 = never
+	// overflowed).
+	VarOptTau() float64
+	// SubsetSum estimates Σ_{h∈sel} v(h) by summing adjusted weights,
+	// accumulating in ascending key order.
+	SubsetSum(sel func(dataset.Key) bool) float64
+}
+
+// --- hydrated implementations ------------------------------------------
+
+// PPSTau implements PPSReader.
+func (p *PPSSummary) PPSTau() float64 { return p.Tau }
+
+// Lookup implements PPSReader.
+func (p *PPSSummary) Lookup(h dataset.Key) (float64, bool) {
+	v, ok := p.Sample.Values[h]
+	return v, ok
+}
+
+// AppendKeys implements PPSReader.
+func (p *PPSSummary) AppendKeys(dst []dataset.Key) []dataset.Key {
+	for h := range p.Sample.Values {
+		dst = append(dst, h)
+	}
+	return dst
+}
+
+// SetP implements SetReader.
+func (s *SetSummary) SetP() float64 { return s.P }
+
+// Contains implements SetReader.
+func (s *SetSummary) Contains(h dataset.Key) bool { return s.Members[h] }
+
+// AppendKeys implements SetReader.
+func (s *SetSummary) AppendKeys(dst []dataset.Key) []dataset.Key {
+	for h := range s.Members {
+		dst = append(dst, h)
+	}
+	return dst
+}
+
+// RankTau implements BottomKReader.
+func (b *BottomKSummary) RankTau() float64 { return b.Sample.Tau }
+
+// RankFam implements BottomKReader.
+func (b *BottomKSummary) RankFam() sampling.RankFamily { return b.Sample.Family }
+
+// Lookup implements BottomKReader.
+func (b *BottomKSummary) Lookup(h dataset.Key) (float64, bool) {
+	v, ok := b.Sample.Values[h]
+	return v, ok
+}
+
+// AppendKeys implements BottomKReader.
+func (b *BottomKSummary) AppendKeys(dst []dataset.Key) []dataset.Key {
+	for h := range b.Sample.Values {
+		dst = append(dst, h)
+	}
+	return dst
+}
+
+// VarOptTau implements VarOptReader.
+func (v *VarOptSummary) VarOptTau() float64 { return v.Sample.Tau }
+
+// unionReaderKeys returns the ascending union of the readers' key sets —
+// the reader-interface face of unionKeys, and the same deterministic
+// iteration order: queries sum per-key estimates over it so equal
+// summaries answer with bit-identical floats regardless of
+// representation.
+func unionReaderKeys[R interface {
+	AppendKeys([]dataset.Key) []dataset.Key
+}](rs ...R) []dataset.Key {
+	var keys []dataset.Key
+	for _, r := range rs {
+		keys = r.AppendKeys(keys)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	// Dedup in place: the slice is sorted, so duplicates are adjacent.
+	out := keys[:0]
+	for i, h := range keys {
+		if i == 0 || h != keys[i-1] {
+			out = append(out, h)
+		}
+	}
+	return out
+}

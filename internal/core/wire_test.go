@@ -73,7 +73,7 @@ func TestDecodeSummaryDispatch(t *testing.T) {
 			t.Errorf("%s: seeder not preserved", want.Kind())
 		}
 	}
-	if _, err := DecodeSummary([]byte(`{"version":1,"kind":"varopt"}`)); err == nil {
+	if _, err := DecodeSummary([]byte(`{"version":1,"kind":"zipf"}`)); err == nil {
 		t.Error("unknown kind decoded successfully")
 	}
 	if _, err := DecodeSummary([]byte(`{"version":1}`)); err == nil {

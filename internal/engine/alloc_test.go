@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sampling"
+	"repro/internal/xhash"
+)
+
+// TestAsyncProducerAllocs pins the steady-state producer path of the async
+// pipeline at (near) zero allocations per Push: batch slices come from the
+// sync.Pool arena and are recycled by the shard workers, so a warm
+// producer never allocates a batch. The bound is a small tolerance rather
+// than exactly zero because a concurrent GC may clear the pool mid-run.
+func TestAsyncProducerAllocs(t *testing.T) {
+	seeder := xhash.Seeder{Salt: 9}
+	seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+	e := NewBottomK(256, sampling.PPS{}, seed, Config{Parallel: true, Shards: 4, Async: true})
+	defer e.Close()
+	// Warm up: fill the samplers past k and let the arena reach its
+	// steady population (shards × (depth+2) buffers at most).
+	for i := 0; i < 1<<16; i++ {
+		e.Push(dataset.Key(i+1), 1+float64(i%97))
+	}
+	const pushes = 1 << 17
+	i := 0
+	allocs := testing.AllocsPerRun(1, func() {
+		for j := 0; j < pushes; j++ {
+			e.Push(dataset.Key(i+1), 1+float64(i%97))
+			i++
+		}
+	})
+	if perPush := allocs / pushes; perPush > 0.001 {
+		t.Errorf("async producer allocs/push = %v, want ~0 (arena-recycled batches)", perPush)
+	}
+}
+
+// TestStreamRejectAllocs pins the full-sampler reject path at exactly zero
+// allocations: once k+1 items are retained, the common-case arrival must
+// touch neither the heap nor the value map.
+func TestStreamRejectAllocs(t *testing.T) {
+	seeder := xhash.Seeder{Salt: 6}
+	seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+	for _, fam := range []sampling.RankFamily{sampling.PPS{}, sampling.EXP{}} {
+		s := sampling.NewStreamBottomK(64, fam, seed)
+		for k := dataset.Key(1); k <= 1024; k++ {
+			s.Push(k, 1000)
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(500, func() {
+			s.Push(dataset.Key(1_000_000+i), 1e-12)
+			i++
+		})
+		if allocs != 0 {
+			t.Errorf("%s: reject-path allocs/op = %v, want 0", fam.Name(), allocs)
+		}
+	}
+}

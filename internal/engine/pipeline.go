@@ -120,11 +120,12 @@ func (p *pipeline[T, S]) Stats() Stats {
 	return st
 }
 
-// batch is one unit of producer→worker handoff: a slice of items, or a
-// barrier the worker acknowledges once every earlier item of its shard
-// has been applied.
+// batch is one unit of producer→worker handoff: a pooled slice of items,
+// or a barrier the worker acknowledges once every earlier item of its
+// shard has been applied. items points into the sharder's batch arena; the
+// worker recycles it after applying (see sharder.arena).
 type batch[T any] struct {
-	items   []T
+	items   *[]T
 	barrier chan<- struct{}
 }
 
@@ -132,13 +133,20 @@ type batch[T any] struct {
 // the per-shard buffers, bounded worker queues, and goroutines, generically
 // over the item and sampler-state types. The engines own sampler
 // construction and the merge.
+//
+// Batch slices live in a sync.Pool arena: the producer takes a slice from
+// the pool, fills it, and hands it to a shard worker, which returns it to
+// the pool after applying — so a steady-state producer allocates nothing
+// per batch. Pool entries are *[]T (a bare []T would box the slice header
+// on every Put, re-introducing the allocation the arena removes).
 type sharder[T, S any] struct {
 	batch    int
 	depth    int
 	key      func(T) dataset.Key
-	bufs     [][]T
+	bufs     []*[]T
 	chans    []chan batch[T]
 	samplers []S
+	arena    sync.Pool
 	batches  uint64
 	stalls   uint64
 	rejects  uint64
@@ -152,12 +160,16 @@ func newSharder[T, S any](shards int, cfg Config, mk func() S, key func(T) datas
 		batch:    cfg.EffectiveBatchSize(),
 		depth:    cfg.EffectiveQueueDepth(),
 		key:      key,
-		bufs:     make([][]T, shards),
+		bufs:     make([]*[]T, shards),
 		chans:    make([]chan batch[T], shards),
 		samplers: make([]S, shards),
 	}
+	sh.arena.New = func() any {
+		s := make([]T, 0, sh.batch)
+		return &s
+	}
 	for i := 0; i < shards; i++ {
-		sh.bufs[i] = make([]T, 0, sh.batch)
+		sh.bufs[i] = sh.getBuf()
 		ch := make(chan batch[T], sh.depth)
 		s := mk()
 		sh.chans[i] = ch
@@ -166,8 +178,11 @@ func newSharder[T, S any](shards int, cfg Config, mk func() S, key func(T) datas
 		go func() {
 			defer sh.wg.Done()
 			for b := range ch {
-				for _, it := range b.items {
-					apply(s, it)
+				if b.items != nil {
+					for _, it := range *b.items {
+						apply(s, it)
+					}
+					sh.putBuf(b.items)
 				}
 				if b.barrier != nil {
 					b.barrier <- struct{}{}
@@ -178,26 +193,38 @@ func newSharder[T, S any](shards int, cfg Config, mk func() S, key func(T) datas
 	return sh
 }
 
+// getBuf takes an empty batch slice from the arena.
+func (sh *sharder[T, S]) getBuf() *[]T {
+	return sh.arena.Get().(*[]T)
+}
+
+// putBuf recycles an applied batch slice back to the arena for the
+// producer to refill.
+func (sh *sharder[T, S]) putBuf(buf *[]T) {
+	*buf = (*buf)[:0]
+	sh.arena.Put(buf)
+}
+
 // push routes one arrival to its shard, handing the shard's batch to its
-// worker when full.
+// worker when full and pulling a recycled slice from the arena.
 func (sh *sharder[T, S]) push(item T) {
 	i := 0
 	if len(sh.chans) > 1 {
 		i = shardOf(sh.key(item), len(sh.chans))
 	}
-	buf := append(sh.bufs[i], item)
-	if len(buf) >= sh.batch {
+	buf := sh.bufs[i]
+	*buf = append(*buf, item)
+	if len(*buf) >= sh.batch {
 		sh.send(i, buf)
-		buf = make([]T, 0, sh.batch)
+		sh.bufs[i] = sh.getBuf()
 	}
-	sh.bufs[i] = buf
 }
 
 // send hands one full batch to a shard worker. The queue is bounded, so
 // the handoff can block — at most until the worker frees one slot by
 // consuming a batch — and every blocking handoff is counted as a stall:
 // Stats().Stalls is the engine's explicit backpressure signal.
-func (sh *sharder[T, S]) send(i int, items []T) {
+func (sh *sharder[T, S]) send(i int, items *[]T) {
 	sh.batches++
 	select {
 	case sh.chans[i] <- batch[T]{items: items}:
@@ -219,16 +246,18 @@ func (sh *sharder[T, S]) tryPush(item T) error {
 		i = shardOf(sh.key(item), len(sh.chans))
 	}
 	buf := sh.bufs[i]
-	if len(buf)+1 < sh.batch {
-		sh.bufs[i] = append(buf, item)
+	if len(*buf)+1 < sh.batch {
+		*buf = append(*buf, item)
 		return nil
 	}
+	*buf = append(*buf, item)
 	select {
-	case sh.chans[i] <- batch[T]{items: append(buf, item)}:
+	case sh.chans[i] <- batch[T]{items: buf}:
 		sh.batches++
-		sh.bufs[i] = make([]T, 0, sh.batch)
+		sh.bufs[i] = sh.getBuf()
 		return nil
 	default:
+		*buf = (*buf)[:len(*buf)-1]
 		sh.rejects++
 		return ErrQueueFull
 	}
@@ -243,9 +272,9 @@ func (sh *sharder[T, S]) tryPush(item T) error {
 func (sh *sharder[T, S]) quiesce() []S {
 	done := make(chan struct{}, len(sh.chans))
 	for i, buf := range sh.bufs {
-		if len(buf) > 0 {
+		if len(*buf) > 0 {
 			sh.send(i, buf)
-			sh.bufs[i] = make([]T, 0, sh.batch)
+			sh.bufs[i] = sh.getBuf()
 		}
 		sh.chans[i] <- batch[T]{barrier: done}
 	}
@@ -260,7 +289,7 @@ func (sh *sharder[T, S]) quiesce() []S {
 // worker write before the return).
 func (sh *sharder[T, S]) drain() []S {
 	for i, buf := range sh.bufs {
-		if len(buf) > 0 {
+		if len(*buf) > 0 {
 			sh.send(i, buf)
 		}
 		close(sh.chans[i])

@@ -52,13 +52,19 @@ func (e *PoissonPPS) Close() *sampling.WeightedSample {
 }
 
 // unionPoissonSamplers unions per-shard Poisson samples into one without
-// consuming the samplers (shards hold disjoint key partitions).
+// consuming the samplers (shards hold disjoint key partitions). The result
+// map is presized to the summed shard sizes, so the copies never grow it —
+// one allocation for the union regardless of shard count.
 func unionPoissonSamplers(samplers []*sampling.StreamPoissonPPS) *sampling.WeightedSample {
-	out := samplers[0].Snapshot()
-	for _, s := range samplers[1:] {
-		s.AppendTo(out.Values)
+	total := 0
+	for _, s := range samplers {
+		total += s.Len()
 	}
-	return out
+	vals := make(map[dataset.Key]float64, total)
+	for _, s := range samplers {
+		s.AppendTo(vals)
+	}
+	return &sampling.WeightedSample{Values: vals, Tau: samplers[0].RankTau(), Family: sampling.PPS{}}
 }
 
 // SummarizePoissonPPS runs a materialized instance through a Poisson PPS

@@ -1,7 +1,6 @@
 package sampling
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/dataset"
@@ -13,20 +12,47 @@ type rankedKey struct {
 	rank float64
 }
 
-// rankHeap is a max-heap on rank so the largest retained rank is on top and
-// can be evicted when a smaller rank arrives.
+// rankHeap is a binary max-heap on rank stored in a slice, so the largest
+// retained rank sits at h[0] and can be evicted when a smaller rank
+// arrives. The sift loops are written out instead of going through
+// container/heap: the interface{}-based heap.Push boxes every rankedKey,
+// which costs one allocation per retained arrival on the k-fill path.
 type rankHeap []rankedKey
 
-func (h rankHeap) Len() int            { return len(h) }
-func (h rankHeap) Less(i, j int) bool  { return h[i].rank > h[j].rank }
-func (h rankHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *rankHeap) Push(x interface{}) { *h = append(*h, x.(rankedKey)) }
-func (h *rankHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// push appends rk and restores the heap property by sifting it up.
+func (h *rankHeap) push(rk rankedKey) {
+	*h = append(*h, rk)
+	hh := *h
+	i := len(hh) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if hh[parent].rank >= hh[i].rank {
+			break
+		}
+		hh[parent], hh[i] = hh[i], hh[parent]
+		i = parent
+	}
+}
+
+// fixTop restores the heap property after h[0] was replaced in place — the
+// eviction step of a full bottom-k sampler.
+func (h rankHeap) fixTop() {
+	n := len(h)
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if r := c + 1; r < n && h[r].rank > h[c].rank {
+			c = r
+		}
+		if h[i].rank >= h[c].rank {
+			return
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
 }
 
 // BottomK draws a bottom-k (order) sample of the instance: the k keys with
@@ -37,22 +63,39 @@ func (h *rankHeap) Pop() interface{} {
 // sampling without replacement.
 //
 // The sample is computed in one streaming pass with a size-(k+1) heap, so an
-// instance never needs to be fully materialized in rank order.
+// instance never needs to be fully materialized in rank order. Once the heap
+// is full, arrivals take the same threshold fast-reject as
+// StreamBottomK.Push: one seed hash, one multiply, one compare.
 func BottomK(in dataset.Instance, k int, fam RankFamily, seed SeedFunc) *WeightedSample {
 	h := make(rankHeap, 0, k+1)
-	heap.Init(&h)
+	guard := fastRejectMult(fam)
+	full := false
+	tau, tauGuard := 0.0, math.NaN()
 	for key, v := range in {
+		if full {
+			u := seed(key)
+			if u >= tauGuard*v {
+				continue
+			}
+			r := fam.Rank(u, v)
+			if !(r < tau) {
+				continue
+			}
+			h[0] = rankedKey{key, r}
+			h.fixTop()
+			tau = h[0].rank
+			tauGuard = tau * guard
+			continue
+		}
 		r := fam.Rank(seed(key), v)
 		if math.IsInf(r, 1) {
 			continue
 		}
-		if len(h) < k+1 {
-			heap.Push(&h, rankedKey{key, r})
-			continue
-		}
-		if r < h[0].rank {
-			h[0] = rankedKey{key, r}
-			heap.Fix(&h, 0)
+		h.push(rankedKey{key, r})
+		if len(h) == k+1 {
+			full = true
+			tau = h[0].rank
+			tauGuard = tau * guard
 		}
 	}
 	out := &WeightedSample{Values: make(map[dataset.Key]float64, k), Family: fam}

@@ -1,8 +1,6 @@
 package sampling
 
 import (
-	"container/heap"
-	"math"
 	"testing"
 
 	"repro/internal/dataset"
@@ -15,20 +13,60 @@ func TestRankFamilyNames(t *testing.T) {
 	}
 }
 
-func TestRankHeapInterface(t *testing.T) {
-	h := rankHeap{}
-	heap.Init(&h)
-	for _, r := range []float64{0.5, 0.1, 0.9, 0.3} {
-		heap.Push(&h, rankedKey{rank: r})
-	}
-	// Max-heap: pops come out in decreasing rank order.
-	prev := math.Inf(1)
-	for h.Len() > 0 {
-		rk := heap.Pop(&h).(rankedKey)
-		if rk.rank > prev {
-			t.Fatalf("heap order violated: %v after %v", rk.rank, prev)
+// heapOK reports whether h satisfies the max-heap property everywhere.
+func heapOK(h rankHeap) bool {
+	for i := 1; i < len(h); i++ {
+		if h[(i-1)/2].rank < h[i].rank {
+			return false
 		}
-		prev = rk.rank
+	}
+	return true
+}
+
+func TestRankHeapSift(t *testing.T) {
+	rng := randx.New(42)
+	h := make(rankHeap, 0, 65)
+	for i := 0; i < 64; i++ {
+		h.push(rankedKey{key: dataset.Key(i), rank: rng.Float64()})
+		if !heapOK(h) {
+			t.Fatalf("heap property violated after push %d: %v", i, h)
+		}
+	}
+	// Evictions replace the top in place and sift down, as a full
+	// bottom-k sampler does; the top must always be the maximum.
+	for i := 0; i < 256; i++ {
+		max := 0.0
+		for _, rk := range h {
+			if rk.rank > max {
+				max = rk.rank
+			}
+		}
+		if h[0].rank != max {
+			t.Fatalf("heap top %v, want max %v", h[0].rank, max)
+		}
+		h[0] = rankedKey{key: dataset.Key(1000 + i), rank: rng.Float64()}
+		h.fixTop()
+		if !heapOK(h) {
+			t.Fatalf("heap property violated after eviction %d", i)
+		}
+	}
+}
+
+// TestRankHeapPushAllocs: the k-fill path must not box — pushing into a
+// heap with spare capacity allocates nothing (the old container/heap path
+// boxed every rankedKey through interface{}).
+func TestRankHeapPushAllocs(t *testing.T) {
+	h := make(rankHeap, 0, 128)
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		h.push(rankedKey{key: dataset.Key(i), rank: float64(i % 17)})
+		i++
+		if len(h) == cap(h) {
+			h = h[:0]
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("rankHeap.push allocs/op = %v, want 0", allocs)
 	}
 }
 

@@ -76,3 +76,32 @@ func (EXP) InclusionProb(w, tau float64) float64 {
 
 // Name implements RankFamily.
 func (EXP) Name() string { return "exp" }
+
+// rejectGuard is the relative guard band of the threshold fast-reject: a
+// full sampler certainly rejects an arrival when u ≥ (1+rejectGuard)·tau·w,
+// using one multiply and one compare — no division, and for EXP ranks no
+// logarithm. The band is ~10^7 ulps wide, far beyond the worst-case
+// rounding of the exact rank computation, so the shortcut can never
+// disagree with it; arrivals inside the band fall through to the exact
+// Rank comparison, keeping every accept/reject decision bit-identical to
+// the slow path.
+//
+// Why one comparison covers both built-in families: PPS ranks are u/w, so
+// u ≥ tau·w is the rejection test itself (modulo rounding, hence the
+// guard). EXP ranks are −ln(1−u)/w ≥ u/w (since −ln(1−u) ≥ u on [0,1)),
+// so u ≥ tau·w implies rank ≥ tau — the uniform draw rejects before the
+// logarithm is ever taken. Non-positive weights have rank +Inf and are
+// always rejected by a full sampler; tau·w ≤ 0 ≤ u covers them too.
+const rejectGuard = 1e-9
+
+// fastRejectMult returns the guard multiplier m such that u ≥ m·tau·w
+// certainly implies Rank(u, w) ≥ tau for the given family, or NaN for
+// unknown families (NaN·w comparisons are always false, so the fast path
+// self-disables and every arrival takes the exact rank comparison).
+func fastRejectMult(fam RankFamily) float64 {
+	switch fam.(type) {
+	case PPS, EXP:
+		return 1 + rejectGuard
+	}
+	return math.NaN()
+}

@@ -1,7 +1,6 @@
 package sampling
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/dataset"
@@ -12,12 +11,24 @@ import (
 // of the same key must arrive at most once (the instances×keys model
 // assigns one value per key per instance); feeding aggregated streams is
 // the caller's concern.
+//
+// Once k+1 items are retained the sampler is rejection-dominated: the
+// common-case arrival is discarded with one seed hash, one multiply, and
+// one compare against the cached threshold (see rejectGuard), touching
+// neither the heap nor the value map and allocating nothing.
 type StreamBottomK struct {
 	k    int
 	fam  RankFamily
 	seed SeedFunc
-	h    rankHeap
-	vals map[dataset.Key]float64
+	// full is true once k+1 items are retained; tau then caches the
+	// heap-top rank (the threshold witness) as a plain field, and
+	// tauGuard = tau·fastRejectMult(fam) is the certain-reject bound.
+	full     bool
+	tau      float64
+	tauGuard float64
+	guard    float64
+	h        rankHeap
+	vals     map[dataset.Key]float64
 }
 
 // NewStreamBottomK returns an empty streaming bottom-k sampler.
@@ -26,32 +37,59 @@ func NewStreamBottomK(k int, fam RankFamily, seed SeedFunc) *StreamBottomK {
 		panic("sampling: NewStreamBottomK with non-positive k")
 	}
 	return &StreamBottomK{
-		k:    k,
-		fam:  fam,
-		seed: seed,
-		h:    make(rankHeap, 0, k+1),
-		vals: make(map[dataset.Key]float64, k+1),
+		k:        k,
+		fam:      fam,
+		seed:     seed,
+		guard:    fastRejectMult(fam),
+		tauGuard: math.NaN(),
+		h:        make(rankHeap, 0, k+1),
+		vals:     make(map[dataset.Key]float64, k+1),
 	}
 }
 
 // Push offers one (key, value) pair to the sampler.
 func (s *StreamBottomK) Push(key dataset.Key, v float64) {
-	r := s.fam.Rank(s.seed(key), v)
-	if math.IsInf(r, 1) {
+	if s.full {
+		u := s.seed(key)
+		if u >= s.tauGuard*v {
+			// Certain reject: rank ≥ tau is guaranteed without computing
+			// the rank (NaN tauGuard disables this for unknown families).
+			return
+		}
+		s.pushFull(u, key, v)
 		return
 	}
-	if len(s.h) < s.k+1 {
-		heap.Push(&s.h, rankedKey{key, r})
-		s.vals[key] = v
-		return
-	}
-	if r >= s.h[0].rank {
+	s.pushFill(key, v)
+}
+
+// pushFull resolves an arrival inside the guard band of a full sampler
+// with the exact rank comparison, evicting the heap top on accept.
+func (s *StreamBottomK) pushFull(u float64, key dataset.Key, v float64) {
+	r := s.fam.Rank(u, v)
+	if r >= s.tau {
 		return
 	}
 	delete(s.vals, s.h[0].key)
 	s.h[0] = rankedKey{key, r}
 	s.vals[key] = v
-	heap.Fix(&s.h, 0)
+	s.h.fixTop()
+	s.tau = s.h[0].rank
+	s.tauGuard = s.tau * s.guard
+}
+
+// pushFill handles arrivals while the sampler still has room.
+func (s *StreamBottomK) pushFill(key dataset.Key, v float64) {
+	r := s.fam.Rank(s.seed(key), v)
+	if math.IsInf(r, 1) {
+		return
+	}
+	s.h.push(rankedKey{key, r})
+	s.vals[key] = v
+	if len(s.h) == s.k+1 {
+		s.full = true
+		s.tau = s.h[0].rank
+		s.tauGuard = s.tau * s.guard
+	}
 }
 
 // Len returns the number of retained keys (at most k+1 internally; the
@@ -86,11 +124,14 @@ func (s *StreamBottomK) Snapshot() *WeightedSample {
 // retained sample — the scheme of choice when key processing must be fully
 // decoupled (e.g. sensors transmitting independently, §7.1). Inclusion uses
 // the exact rank test of PoissonPPS (rank u/v below 1/tauStar), so the
-// streaming sample is bit-for-bit the batch sample.
+// streaming sample is bit-for-bit the batch sample. Rejected arrivals —
+// the common case with a tight threshold — cost one seed hash, one
+// multiply, and one compare, mirroring StreamBottomK's fast-reject.
 type StreamPoissonPPS struct {
-	rankTau float64
-	seed    SeedFunc
-	out     map[dataset.Key]float64
+	rankTau  float64
+	tauGuard float64
+	seed     SeedFunc
+	out      map[dataset.Key]float64
 }
 
 // NewStreamPoissonPPS returns an empty streaming PPS sampler with
@@ -99,12 +140,25 @@ func NewStreamPoissonPPS(tauStar float64, seed SeedFunc) *StreamPoissonPPS {
 	if tauStar <= 0 {
 		panic("sampling: NewStreamPoissonPPS with non-positive tau")
 	}
-	return &StreamPoissonPPS{rankTau: 1 / tauStar, seed: seed, out: make(map[dataset.Key]float64)}
+	rankTau := 1 / tauStar
+	return &StreamPoissonPPS{
+		rankTau:  rankTau,
+		tauGuard: rankTau * (1 + rejectGuard),
+		seed:     seed,
+		out:      make(map[dataset.Key]float64),
+	}
 }
+
+// RankTau returns the fixed rank-scale threshold 1/tauStar.
+func (s *StreamPoissonPPS) RankTau() float64 { return s.rankTau }
 
 // Push offers one (key, value) pair.
 func (s *StreamPoissonPPS) Push(key dataset.Key, v float64) {
-	if (PPS{}).Rank(s.seed(key), v) < s.rankTau {
+	u := s.seed(key)
+	if u >= s.tauGuard*v {
+		return
+	}
+	if (PPS{}).Rank(u, v) < s.rankTau {
 		s.out[key] = v
 	}
 }
@@ -114,7 +168,8 @@ func (s *StreamPoissonPPS) Len() int { return len(s.out) }
 
 // AppendTo copies the current sample into dst without materializing an
 // intermediate snapshot — the cheap path for unioning per-shard Poisson
-// samples.
+// samples. Callers unioning several samplers should presize dst with the
+// summed Len() so the copies never grow the map.
 func (s *StreamPoissonPPS) AppendTo(dst map[dataset.Key]float64) {
 	for k, v := range s.out {
 		dst[k] = v
@@ -124,8 +179,6 @@ func (s *StreamPoissonPPS) AppendTo(dst map[dataset.Key]float64) {
 // Snapshot materializes the current sample.
 func (s *StreamPoissonPPS) Snapshot() *WeightedSample {
 	vals := make(map[dataset.Key]float64, len(s.out))
-	for k, v := range s.out {
-		vals[k] = v
-	}
+	s.AppendTo(vals)
 	return &WeightedSample{Values: vals, Tau: s.rankTau, Family: PPS{}}
 }

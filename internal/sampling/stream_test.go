@@ -120,3 +120,45 @@ func mustPanic(t *testing.T, f func()) {
 	}()
 	f()
 }
+
+// TestAppendToPresizedAllocs: AppendTo into a map presized with the
+// summed Len() copies entries without growing the map — zero allocations,
+// the contract the engine's shard-union relies on.
+func TestAppendToPresizedAllocs(t *testing.T) {
+	seeder := xhash.Seeder{Salt: 3}
+	samplers := make([]*StreamPoissonPPS, 3)
+	for i := range samplers {
+		inst := i
+		seed := func(h dataset.Key) float64 { return seeder.Seed(inst, uint64(h)) }
+		s := NewStreamPoissonPPS(4, seed)
+		for k := dataset.Key(1); k <= 400; k++ {
+			s.Push(k+dataset.Key(1000*i), 1+float64(k%17))
+		}
+		samplers[i] = s
+	}
+	total := 0
+	for _, s := range samplers {
+		total += s.Len()
+	}
+	if total == 0 {
+		t.Fatal("fixture retained nothing")
+	}
+	var dst map[dataset.Key]float64
+	allocs := testing.AllocsPerRun(10, func() {
+		dst = make(map[dataset.Key]float64, total)
+		for _, s := range samplers {
+			s.AppendTo(dst)
+		}
+	})
+	if len(dst) != total {
+		t.Fatalf("union holds %d keys, want %d", len(dst), total)
+	}
+	// One allocation budget: the presized map itself (Go maps may take a
+	// couple of internal allocations at make time; the copies add none).
+	base := testing.AllocsPerRun(10, func() {
+		dst = make(map[dataset.Key]float64, total)
+	})
+	if allocs > base {
+		t.Errorf("AppendTo into a presized map allocated %v beyond the %v of make itself", allocs-base, base)
+	}
+}

@@ -19,7 +19,11 @@ type VarOpt struct {
 	k     int
 	tau   float64
 	items []voItem
-	rng   interface{ Float64() float64 }
+	// adj and idx are scratch buffers reused across Add overflows so the
+	// per-arrival threshold solve does not allocate.
+	adj []float64
+	idx []int
+	rng interface{ Float64() float64 }
 }
 
 type voItem struct {
@@ -58,12 +62,16 @@ func (v *VarOpt) Add(key dataset.Key, w float64) {
 	// item with probability 1 − min(1, w̃_i/tau'). Previously retained
 	// items carry their threshold-adjusted weight max(w, tau); the new
 	// arrival enters with its raw weight.
-	adj := make([]float64, len(v.items))
+	if cap(v.adj) < len(v.items) {
+		v.adj = make([]float64, len(v.items))
+		v.idx = make([]int, len(v.items))
+	}
+	adj := v.adj[:len(v.items)]
 	for i, it := range v.items {
 		adj[i] = math.Max(it.w, v.tau)
 	}
 	adj[len(adj)-1] = v.items[len(adj)-1].w
-	idx := make([]int, len(v.items))
+	idx := v.idx[:len(v.items)]
 	for i := range idx {
 		idx[i] = i
 	}
@@ -140,14 +148,47 @@ type VarOptSample struct {
 	Tau float64
 }
 
-// SubsetSum estimates Σ_{h∈sel} v(h) by summing adjusted weights.
+// SubsetSum estimates Σ_{h∈sel} v(h) by summing adjusted weights. Terms
+// accumulate in ascending key order, not map order, so equal samples
+// produce bit-identical estimates on every run — the same reproducibility
+// contract as WeightedSample.SubsetSum.
 func (s *VarOptSample) SubsetSum(sel func(dataset.Key) bool) float64 {
+	keys := make([]dataset.Key, 0, len(s.Adjusted))
+	for h := range s.Adjusted {
+		keys = append(keys, h)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	total := 0.0
-	for h, aw := range s.Adjusted {
+	for _, h := range keys {
 		if sel != nil && !sel(h) {
 			continue
 		}
-		total += aw
+		total += s.Adjusted[h]
 	}
 	return total
+}
+
+// MergeVarOpt merges finalized VarOpt_k reservoirs into one reservoir of
+// capacity k — the mergeability construction behind sharded VarOpt
+// summarization (Cohen, Duffield, Kaplan, Lund, Thorup 2009): every input
+// item enters the union carrying its threshold-adjusted weight
+// max(w, tau_own) — the unbiased estimate of its original weight under its
+// own reservoir's randomness — and the union is re-dropped to k items by
+// the standard per-arrival threshold step, drawing the drop decisions from
+// rng. This is the two-level (threshold-union) reservoir: per-key
+// unbiasedness composes across the levels, E[adjusted out] = adjusted in
+// and E[adjusted in] = w, so subset-sum estimates from the merged
+// reservoir are unbiased regardless of how the stream was partitioned.
+//
+// The inputs are not consumed or mutated. Note the merged reservoir's item
+// weights are the inputs' adjusted weights: original weights below an
+// input threshold are not recoverable after a merge.
+func MergeVarOpt(k int, rng interface{ Float64() float64 }, vs ...*VarOpt) *VarOpt {
+	out := NewVarOpt(k, rng)
+	for _, v := range vs {
+		for _, it := range v.items {
+			out.Add(it.key, math.Max(it.w, v.tau))
+		}
+	}
+	return out
 }

@@ -1,0 +1,178 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/randx"
+)
+
+// zeroRNG always returns 0.0 — the extreme corner of the drop draw: u=0
+// selects the first item with positive drop probability.
+type zeroRNG struct{}
+
+func (zeroRNG) Float64() float64 { return 0.0 }
+
+// voTotal sums the adjusted weights of the reservoir (the exact-total
+// invariant: Σ max(w, tau) over retained items equals Σ pushed weights).
+func voTotal(v *VarOpt) float64 {
+	return v.Sample().SubsetSum(nil)
+}
+
+// TestVarOptK1: a capacity-1 reservoir holds exactly one item whose
+// adjusted weight is the exact running total.
+func TestVarOptK1(t *testing.T) {
+	vo := NewVarOpt(1, randx.New(7))
+	total := 0.0
+	for i := 1; i <= 50; i++ {
+		w := float64(i%7 + 1)
+		vo.Add(dataset.Key(i), w)
+		total += w
+		if vo.Len() != 1 {
+			t.Fatalf("k=1 reservoir holds %d items", vo.Len())
+		}
+		if got := voTotal(vo); math.Abs(got-total) > 1e-9*total {
+			t.Fatalf("k=1 adjusted total %v, want %v", got, total)
+		}
+	}
+}
+
+// TestVarOptAllEqualWeights: with n equal weights w and capacity k, the
+// threshold is exactly n·w/k and every retained item carries it.
+func TestVarOptAllEqualWeights(t *testing.T) {
+	const (
+		k = 4
+		n = 20
+		w = 5.0
+	)
+	vo := NewVarOpt(k, randx.New(3))
+	for i := 1; i <= n; i++ {
+		vo.Add(dataset.Key(i), w)
+	}
+	if vo.Len() != k {
+		t.Fatalf("reservoir size %d, want %d", vo.Len(), k)
+	}
+	wantTau := n * w / k
+	if math.Abs(vo.Tau()-wantTau) > 1e-9*wantTau {
+		t.Errorf("tau = %v, want %v", vo.Tau(), wantTau)
+	}
+	s := vo.Sample()
+	for h, aw := range s.Adjusted {
+		if math.Abs(aw-wantTau) > 1e-9*wantTau {
+			t.Errorf("key %d adjusted %v, want %v", h, aw, wantTau)
+		}
+	}
+}
+
+// TestVarOptWeightAtTau: an arrival whose weight equals the current
+// threshold exactly keeps the total invariant and a monotone threshold.
+func TestVarOptWeightAtTau(t *testing.T) {
+	vo := NewVarOpt(3, randx.New(11))
+	total := 0.0
+	for i := 1; i <= 10; i++ {
+		vo.Add(dataset.Key(i), 2)
+		total += 2
+	}
+	tau := vo.Tau()
+	if tau <= 0 {
+		t.Fatalf("threshold not engaged: tau = %v", tau)
+	}
+	vo.Add(dataset.Key(100), tau)
+	total += tau
+	if got := voTotal(vo); math.Abs(got-total) > 1e-9*total {
+		t.Errorf("total after at-tau arrival %v, want %v", got, total)
+	}
+	if vo.Tau() < tau {
+		t.Errorf("threshold decreased: %v -> %v", tau, vo.Tau())
+	}
+}
+
+// TestVarOptZeroRNG: a degenerate rng that always draws 0.0 must still
+// keep the reservoir bounded and the total exact.
+func TestVarOptZeroRNG(t *testing.T) {
+	vo := NewVarOpt(4, zeroRNG{})
+	total := 0.0
+	for i := 1; i <= 40; i++ {
+		w := 1 + float64(i%5)
+		vo.Add(dataset.Key(i), w)
+		total += w
+	}
+	if vo.Len() != 4 {
+		t.Fatalf("reservoir size %d, want 4", vo.Len())
+	}
+	if got := voTotal(vo); math.Abs(got-total) > 1e-9*total {
+		t.Errorf("total %v, want %v", got, total)
+	}
+}
+
+// TestVarOptMergeTotalPreserved: the threshold-union merge preserves the
+// exact total: the merged reservoir's adjusted weights sum to the union
+// stream's total, because each level preserves its own input total.
+func TestVarOptMergeTotalPreserved(t *testing.T) {
+	rng := randx.New(19)
+	a, b := NewVarOpt(8, rng.Split()), NewVarOpt(8, rng.Split())
+	total := 0.0
+	for i := 1; i <= 100; i++ {
+		w := 1 + rng.Pareto(1, 1.5)
+		if i%2 == 0 {
+			a.Add(dataset.Key(i), w)
+		} else {
+			b.Add(dataset.Key(i), w)
+		}
+		total += w
+	}
+	m := MergeVarOpt(8, rng.Split(), a, b)
+	if m.Len() != 8 {
+		t.Fatalf("merged size %d, want 8", m.Len())
+	}
+	if got := voTotal(m); math.Abs(got-total) > 1e-6*total {
+		t.Errorf("merged total %v, want %v", got, total)
+	}
+}
+
+// TestVarOptMergeCommutative: merge(a,b) and merge(b,a) are the same
+// estimator — subset-sum means agree with each other and with the truth
+// within Monte Carlo tolerance (the samples themselves differ: the merge
+// draws randomness, so commutativity is distributional, not bitwise).
+func TestVarOptMergeCommutative(t *testing.T) {
+	const (
+		k      = 16
+		trials = 2000
+	)
+	// Fixed weights; the subset is the low third of the keyspace.
+	wts := make([]float64, 121)
+	wrng := randx.New(5)
+	subsetTotal, total := 0.0, 0.0
+	sel := func(h dataset.Key) bool { return h < 40 }
+	for i := 1; i <= 120; i++ {
+		wts[i] = 1 + wrng.Pareto(1, 1.5)
+		total += wts[i]
+		if sel(dataset.Key(i)) {
+			subsetTotal += wts[i]
+		}
+	}
+	var sumAB, sumBA float64
+	for tr := 0; tr < trials; tr++ {
+		rng := randx.New(uint64(tr) + 1)
+		a, b := NewVarOpt(k, rng.Split()), NewVarOpt(k, rng.Split())
+		for i := 1; i <= 60; i++ {
+			a.Add(dataset.Key(i), wts[i])
+		}
+		for i := 61; i <= 120; i++ {
+			b.Add(dataset.Key(i), wts[i])
+		}
+		sumAB += MergeVarOpt(k, rng.Split(), a, b).Sample().SubsetSum(sel)
+		sumBA += MergeVarOpt(k, rng.Split(), b, a).Sample().SubsetSum(sel)
+	}
+	meanAB, meanBA := sumAB/trials, sumBA/trials
+	if rel := math.Abs(meanAB-subsetTotal) / subsetTotal; rel > 0.05 {
+		t.Errorf("merge(a,b) subset mean %v, want %v (rel err %.3f)", meanAB, subsetTotal, rel)
+	}
+	if rel := math.Abs(meanBA-subsetTotal) / subsetTotal; rel > 0.05 {
+		t.Errorf("merge(b,a) subset mean %v, want %v (rel err %.3f)", meanBA, subsetTotal, rel)
+	}
+	if rel := math.Abs(meanAB-meanBA) / subsetTotal; rel > 0.05 {
+		t.Errorf("merge order changed the estimator: %v vs %v", meanAB, meanBA)
+	}
+}

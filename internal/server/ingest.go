@@ -139,10 +139,15 @@ func (s *Server) parseIngestParams(r *http.Request) (ingestParams, error) {
 		if err != nil || !(out.p > 0 && out.p <= 1) {
 			return out, fmt.Errorf("server: set ingest needs a p parameter in (0,1]")
 		}
+	case "varopt":
+		out.k, err = strconv.Atoi(q.Get("k"))
+		if err != nil || out.k <= 0 {
+			return out, fmt.Errorf("server: varopt ingest needs a positive k parameter")
+		}
 	case "":
-		return out, fmt.Errorf("server: missing kind parameter (pps, bottomk, set)")
+		return out, fmt.Errorf("server: missing kind parameter (pps, bottomk, set, varopt)")
 	default:
-		return out, fmt.Errorf("server: unknown ingest kind %q (pps, bottomk, set)", out.kind)
+		return out, fmt.Errorf("server: unknown ingest kind %q (pps, bottomk, set, varopt)", out.kind)
 	}
 
 	if out.summ, err = s.bindRandomization(q, out.dataset, out.kind); err != nil {
@@ -195,6 +200,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		st := p.summ.StreamSet(p.instance, p.p)
 		push = func(h dataset.Key, _ float64) { st.Push(h) }
 		finish = func() core.Summary { return st.Close() }
+	case "varopt":
+		st := p.summ.StreamVarOpt(s.cfg, p.instance, p.k)
+		push = st.Push
+		finish = func() core.Summary { return st.Close() }
+		stats = st.Stats
 	}
 	pairs, err := scanPairs(http.MaxBytesReader(w, r.Body, maxIngestBody), p.format, p.kind == "set", push)
 	// The samplers hold goroutines under a parallel config; always drain.

@@ -239,12 +239,24 @@ func (s *Server) handlePostSummary(w http.ResponseWriter, r *http.Request) {
 	// sniffing, which keeps every pre-negotiation client working. An
 	// explicitly named but unregistered version is the one case that must
 	// not be guessed around: 415 with the supported list.
+	//
+	// v2 bodies take the zero-copy path: the posted bytes are stored as a
+	// view and queried in place, never hydrated into maps (non-canonical
+	// payloads fall back to the hydrating decoder inside
+	// DecodeSummaryViewFrom).
 	if codec, named, cterr := core.CodecByContentType(r.Header.Get("Content-Type")); cterr != nil {
 		writeError(w, cterr)
 		return
 	} else if named {
 		wire = codec.Version()
-		sum, err = codec.DecodeFrom(body)
+		if wire == 2 {
+			sum, err = core.DecodeSummaryViewFrom(body)
+		} else {
+			sum, err = codec.DecodeFrom(body)
+		}
+	} else if head, _ := body.Peek(3); len(head) == 3 && sniffsV2(head) {
+		wire = 2
+		sum, err = core.DecodeSummaryViewFrom(body)
 	} else {
 		sum, wire, err = core.DecodeSummaryFrom(body)
 	}
@@ -377,12 +389,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	switch query := q.Get("q"); query {
 	case "distinct":
-		sets, err := asKind[*core.SetSummary](sums, "set", "distinct")
+		sets, err := asKind[core.SetReader](sums, "set", "distinct")
 		if err != nil {
 			writeError(w, err)
 			return
 		}
-		est, err := core.DistinctCountMulti(sets, nil)
+		est, err := core.DistinctCountMultiReaders(sets, nil)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -392,7 +404,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			HT: est.HT, L: est.L, KeysUsed: est.KeysUsed,
 		})
 	case "maxdominance":
-		pps, err := asKind[*core.PPSSummary](sums, "pps", "maxdominance")
+		pps, err := asKind[core.PPSReader](sums, "pps", "maxdominance")
 		if err != nil {
 			writeError(w, err)
 			return
@@ -401,7 +413,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, fmt.Errorf("server: maxdominance needs exactly 2 instances, got %d (pass instances=i,j)", len(pps)))
 			return
 		}
-		est, err := core.MaxDominance(pps[0], pps[1], nil)
+		est, err := core.MaxDominanceReaders(pps[0], pps[1], nil)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -411,7 +423,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			HT: est.HT, L: est.L, KeysUsed: est.KeysUsed,
 		})
 	case "quantile":
-		pps, err := asKind[*core.PPSSummary](sums, "pps", "quantile")
+		pps, err := asKind[core.PPSReader](sums, "pps", "quantile")
 		if err != nil {
 			writeError(w, err)
 			return
@@ -428,7 +440,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		est, err := core.QuantilePPS(pps, dataset.Key(key), l)
+		est, err := core.QuantilePPSReaders(pps, dataset.Key(key), l)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -444,13 +456,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		var total float64
 		switch sum := sums[0].(type) {
-		case *core.PPSSummary:
-			total = sum.SubsetSum(nil)
-		case *core.BottomKSummary:
-			total = sum.SubsetSum(nil)
-		case *core.SetSummary:
+		case core.SetReader:
 			// HT cardinality estimate of the underlying set.
-			total = float64(sum.Len()) / sum.P
+			total = float64(sum.Size()) / sum.SetP()
+		case interface {
+			SubsetSum(func(dataset.Key) bool) float64
+		}:
+			// PPS, bottom-k, and VarOpt summaries — hydrated or zero-copy
+			// views — all answer the subset-sum estimate directly.
+			total = sum.SubsetSum(nil)
 		default:
 			writeError(w, fmt.Errorf("server: sum not supported for kind %s", sums[0].Kind()))
 			return
@@ -461,6 +475,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, fmt.Errorf("server: unknown query %q (distinct, maxdominance, quantile, sum)", query))
 	}
+}
+
+// sniffsV2 reports whether the leading bytes claim the v2 binary wire
+// format specifically (magic plus version byte 2) — the gate for the
+// zero-copy post path. Other claimed versions go through the ordinary
+// sniffing decoder, which produces the canonical unknown-version error.
+func sniffsV2(head []byte) bool {
+	v, ok := core.SniffWireVersion(head)
+	return ok && v == 2
 }
 
 // asKind narrows stored summaries to the concrete type a query dispatches

@@ -277,7 +277,7 @@ func TestServerErrors(t *testing.T) {
 	_, err := c.PostSummary(ctx, "flows", json.RawMessage(`{"version":9,"kind":"pps","tau":1}`))
 	expect("unknown version", err, "HTTP 415")
 	expect("unknown version", err, "version 9")
-	_, err = c.PostSummary(ctx, "flows", json.RawMessage(`{"version":2,"kind":"varopt"}`))
+	_, err = c.PostSummary(ctx, "flows", json.RawMessage(`{"version":2,"kind":"zipf"}`))
 	expect("future kind", err, "HTTP 415")
 
 	// Wrong salt and wrong kind → 409.

@@ -1,0 +1,202 @@
+package server_test
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/sampling"
+	"repro/internal/server"
+	"repro/pkg/api"
+)
+
+// These tests pin the zero-copy post path: a canonical v2 POST is stored
+// as a view over the posted bytes, every query over it answers
+// bit-identically to the hydrated in-process estimate, and re-fetching it
+// as v2 returns exactly the posted bytes.
+
+func getJSON[T any](t *testing.T, url string) T {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return decodeResult[T](t, resp)
+}
+
+func postV2(t *testing.T, url, ds string, sum core.Summary) []byte {
+	t.Helper()
+	data, err := core.EncodeSummary(sum, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := postBody(t, url+"/v1/summaries?dataset="+ds, core.ContentTypeV2, data)
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("post %s to %s: status %d: %s", sum.Kind(), ds, resp.StatusCode, body)
+	}
+	resp.Body.Close()
+	return data
+}
+
+// TestViewPostQueryFetch: every summary kind posted as v2 answers queries
+// over the zero-copy view bit-identically to the in-process estimates,
+// and fetches back as exactly the posted bytes.
+func TestViewPostQueryFetch(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.NewRegistry(), engine.Config{}))
+	defer ts.Close()
+	url := ts.URL
+	sites := fixture(1200)
+	summ := core.NewSummarizer(testSalt)
+
+	// PPS pair for maxdominance + per-kind sum checks.
+	pps := []*core.PPSSummary{
+		summ.SummarizePPSExpectedSize(0, sites[0], 150),
+		summ.SummarizePPSExpectedSize(1, sites[1], 150),
+	}
+	var posted [][]byte
+	for _, p := range pps {
+		posted = append(posted, postV2(t, url, "flows", p))
+	}
+	want, err := core.MaxDominance(pps[0], pps[1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := getJSON[api.DominanceResult](t, url+"/v1/query?dataset=flows&q=maxdominance&instances=0,1")
+	if math.Float64bits(dom.HT) != math.Float64bits(want.HT) || math.Float64bits(dom.L) != math.Float64bits(want.L) {
+		t.Errorf("maxdominance over views (HT %v, L %v) != in-process (HT %v, L %v)", dom.HT, dom.L, want.HT, want.L)
+	}
+	sum := getJSON[api.SumResult](t, url+"/v1/query?dataset=flows&q=sum&instances=0")
+	if math.Float64bits(sum.Sum) != math.Float64bits(pps[0].SubsetSum(nil)) {
+		t.Errorf("sum over view %v != in-process %v", sum.Sum, pps[0].SubsetSum(nil))
+	}
+
+	// Fetching a view-backed summary as v2 returns the posted bytes
+	// verbatim (the raw-copy re-encode).
+	req, err := http.NewRequest("GET", url+"/v1/summaries?dataset=flows&instance=0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", core.ContentTypeV2)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch v2: status %d, err %v", resp.StatusCode, err)
+	}
+	if !bytes.Equal(body, posted[0]) {
+		t.Error("fetched v2 bytes differ from the posted bytes")
+	}
+
+	// Set summaries: distinct over three posted views.
+	var sets []*core.SetSummary
+	for i, in := range sites {
+		set := summ.SummarizeSet(i, members(in), 0.3)
+		sets = append(sets, set)
+		postV2(t, url, "presence", set)
+	}
+	wantD, err := core.DistinctCountMulti(sets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := getJSON[api.DistinctResult](t, url+"/v1/query?dataset=presence&q=distinct")
+	if math.Float64bits(dis.HT) != math.Float64bits(wantD.HT) ||
+		math.Float64bits(dis.L) != math.Float64bits(wantD.L) || dis.KeysUsed != wantD.KeysUsed {
+		t.Errorf("distinct over views (%v, %v, %d) != in-process (%v, %v, %d)",
+			dis.HT, dis.L, dis.KeysUsed, wantD.HT, wantD.L, wantD.KeysUsed)
+	}
+
+	// Bottom-k and VarOpt: sum over posted views.
+	bk := summ.SummarizeBottomK(0, sites[2], 100, sampling.EXP{})
+	postV2(t, url, "ranked", bk)
+	bks := getJSON[api.SumResult](t, url+"/v1/query?dataset=ranked&q=sum&instances=0")
+	if math.Float64bits(bks.Sum) != math.Float64bits(bk.SubsetSum(nil)) {
+		t.Errorf("bottomk sum over view %v != in-process %v", bks.Sum, bk.SubsetSum(nil))
+	}
+	vo := summ.SummarizeVarOpt(0, sites[2], 90)
+	postV2(t, url, "reservoir", vo)
+	vos := getJSON[api.SumResult](t, url+"/v1/query?dataset=reservoir&q=sum&instances=0")
+	if math.Float64bits(vos.Sum) != math.Float64bits(vo.SubsetSum(nil)) {
+		t.Errorf("varopt sum over view %v != in-process %v", vos.Sum, vo.SubsetSum(nil))
+	}
+}
+
+// TestViewPostNonCanonicalFallsBack: a valid v2 payload that is not the
+// canonical encoding (non-minimal entry-count varint) fails the strict
+// view parse but still lands via the hydrating decoder — acceptance is
+// unchanged, only the storage representation differs.
+func TestViewPostNonCanonicalFallsBack(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.NewRegistry(), engine.Config{}))
+	defer ts.Close()
+	summ := core.NewSummarizer(testSalt)
+	sum := summ.SummarizePPSExpectedSize(0, dataset.Instance{3: 2, 8: 5, 21: 1}, 10)
+	data, err := core.EncodeSummary(sum, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the one-byte entry count (offset 22: 5 header + 8 salt +
+	// 1 instance varint + 8 tau) as a two-byte non-minimal uvarint.
+	if data[22] >= 0x80 {
+		t.Fatalf("fixture entry count %d not a one-byte uvarint", data[22])
+	}
+	bad := append(append([]byte{}, data[:22]...), data[22]|0x80, 0x00)
+	bad = append(bad, data[23:]...)
+
+	resp := postBody(t, ts.URL+"/v1/summaries?dataset=nc", core.ContentTypeV2, bad)
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("non-canonical v2 post: status %d: %s", resp.StatusCode, body)
+	}
+	resp.Body.Close()
+	got := getJSON[api.SumResult](t, ts.URL+"/v1/query?dataset=nc&q=sum&instances=0")
+	if math.Float64bits(got.Sum) != math.Float64bits(sum.SubsetSum(nil)) {
+		t.Errorf("sum after fallback %v != in-process %v", got.Sum, sum.SubsetSum(nil))
+	}
+}
+
+// TestIngestVarOpt: raw ingest with kind=varopt streams through the
+// engine's VarOpt reservoir. With k at least the number of distinct keys
+// the reservoir never overflows, so the stored sum is the exact total —
+// deterministic despite the sampler's randomized drops.
+func TestIngestVarOpt(t *testing.T) {
+	for _, cfg := range []engine.Config{
+		{},
+		{Parallel: true, Shards: 3, BatchSize: 32},
+	} {
+		ts := httptest.NewServer(server.New(server.NewRegistry(), cfg))
+		in := fixture(300)[0]
+		resp := postBody(t, ts.URL+"/v1/ingest?dataset=vi&instance=0&kind=varopt&k=100000&salt=7&format=ndjson",
+			"application/x-ndjson", ndjsonBody(in))
+		if resp.StatusCode != http.StatusCreated {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			ts.Close()
+			t.Fatalf("varopt ingest: status %d: %s", resp.StatusCode, body)
+		}
+		post := decodeResult[api.PostResult](t, resp)
+		if post.Kind != "varopt" || post.Size != len(in) {
+			t.Fatalf("PostResult = %+v, want kind varopt with %d keys", post, len(in))
+		}
+		got := getJSON[api.SumResult](t, ts.URL+"/v1/query?dataset=vi&q=sum&instances=0")
+		if math.Abs(got.Sum-in.Total()) > 1e-9*in.Total() {
+			t.Errorf("varopt sum %v != exact total %v", got.Sum, in.Total())
+		}
+		ts.Close()
+	}
+}

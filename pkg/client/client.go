@@ -320,11 +320,11 @@ func (c *Client) FetchDecodedSummary(ctx context.Context, dataset string, instan
 
 // IngestOptions parameterizes a raw-stream ingest. Exactly the fields of
 // the selected kind are consulted: Tau for "pps", K and Family for
-// "bottomk", P for "set".
+// "bottomk", P for "set", K for "varopt".
 type IngestOptions struct {
 	Dataset  string
 	Instance int
-	// Kind is "pps", "bottomk", or "set".
+	// Kind is "pps", "bottomk", "set", or "varopt".
 	Kind string
 	// Format is "csv" or "ndjson" (default ndjson).
 	Format string
@@ -364,6 +364,8 @@ func (c *Client) Ingest(ctx context.Context, opts IngestOptions, stream io.Reade
 		}
 	case "set":
 		q.Set("p", strconv.FormatFloat(opts.P, 'g', -1, 64))
+	case "varopt":
+		q.Set("k", strconv.Itoa(opts.K))
 	}
 	ct := "application/x-ndjson"
 	if opts.Format == "csv" {
