@@ -65,8 +65,8 @@ func TestGateVerdicts(t *testing.T) {
 		"BenchmarkMissing": {NsPerOp: 100, AllocsPerOp: 0},
 	}}
 	results := map[string]Result{
-		"BenchmarkFast":   {Name: "BenchmarkFast", NsPerOp: 109, Runs: 1, HasAllocs: true},       // +9% < slack
-		"BenchmarkSlow":   {Name: "BenchmarkSlow", NsPerOp: 111, Runs: 1, HasAllocs: true},       // +11% > slack
+		"BenchmarkFast":   {Name: "BenchmarkFast", NsPerOp: 109, Runs: 1, HasAllocs: true},                  // +9% < slack
+		"BenchmarkSlow":   {Name: "BenchmarkSlow", NsPerOp: 111, Runs: 1, HasAllocs: true},                  // +11% > slack
 		"BenchmarkAllocs": {Name: "BenchmarkAllocs", NsPerOp: 90, AllocsPerOp: 2, Runs: 1, HasAllocs: true}, // faster but allocs up
 		"BenchmarkNew":    {Name: "BenchmarkNew", NsPerOp: 5, Runs: 1},
 	}

@@ -32,12 +32,10 @@ func EstimateMaxDominanceBottomK(m *dataset.Matrix, k int, seeder xhash.Seeder, 
 	// Conditioned PPS thresholds: rank < τ_r ⟺ u/v < τ_r ⟺ v ≥ u/τ_r.
 	tau := []float64{1 / s1.Tau, 1 / s2.Tau}
 	res := DominanceResult{Sampled1: s1.Len(), Sampled2: s2.Len()}
-	seen := make(map[dataset.Key]bool)
 	consider := func(h dataset.Key) {
-		if seen[h] || (sel != nil && !sel(h)) {
+		if sel != nil && !sel(h) {
 			return
 		}
-		seen[h] = true
 		o := estimator.PPSOutcome{
 			Tau:     tau,
 			U:       []float64{seeder.Seed(0, uint64(h)), seeder.Seed(1, uint64(h))},
@@ -53,10 +51,9 @@ func EstimateMaxDominanceBottomK(m *dataset.Matrix, k int, seeder xhash.Seeder, 
 		res.HT += estimator.MaxHTPPS(o)
 		res.L += estimator.MaxL2PPS(o)
 	}
-	for h := range s1.Values {
-		consider(h)
-	}
-	for h := range s2.Values {
+	// Ascending key order (not map order): the float sums must be
+	// bit-identical across runs. The union is already deduplicated.
+	for _, h := range sortedUnionKeys(s1.Values, s2.Values) {
 		consider(h)
 	}
 	res.Truth = m.SumAggregate(dataset.Max, sel)

@@ -1,0 +1,135 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/xhash"
+)
+
+// Determinism regression tests for the sortedUnionKeys fix: every
+// estimator that sums per-key float terms must return bit-identical
+// results on repeated calls with identical inputs. Before the fix those
+// sums ran in Go's randomized map iteration order; with terms spanning
+// ~60 orders of magnitude, float addition's non-associativity made two
+// runs of the same estimate almost surely disagree in the low mantissa
+// bits. summarylint's maporder/floatsum checks flag the pattern
+// statically; these tests pin the behavioral contract.
+
+const determinismRounds = 20
+
+// spreadMatrix builds a two-instance matrix whose values span roughly
+// 10^-30..10^30, maximizing the rounding difference between any two
+// summation orders.
+func spreadMatrix(n int) *dataset.Matrix {
+	in1 := make(dataset.Instance, n)
+	in2 := make(dataset.Instance, n)
+	for i := 0; i < n; i++ {
+		h := dataset.Key(uint64(i)*2654435761 + 1)
+		e := float64(i%61) - 30
+		in1[h] = math.Pow(10, e) * float64(i%7+1)
+		if i%3 != 0 {
+			in2[h] = math.Pow(10, -e) * float64(i%5+1)
+		}
+	}
+	return dataset.NewMatrix(in1, in2)
+}
+
+// sameBits fails the test unless got and want are bitwise-identical.
+func sameBits(t *testing.T, round int, name string, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("round %d: %s = %x, first call gave %x (non-deterministic summation order)",
+			round, name, math.Float64bits(got), math.Float64bits(want))
+	}
+}
+
+func TestEstimateMaxDominanceDeterministic(t *testing.T) {
+	m := spreadMatrix(400)
+	seeder := xhash.Seeder{Salt: 12345}
+	first, err := EstimateMaxDominance(m, 1e-9, 1e-9, seeder, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Sampled1 == 0 || first.Sampled2 == 0 {
+		t.Fatalf("empty samples (%d, %d): test exercises nothing", first.Sampled1, first.Sampled2)
+	}
+	for i := 1; i < determinismRounds; i++ {
+		res, err := EstimateMaxDominance(m, 1e-9, 1e-9, seeder, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBits(t, i, "HT", res.HT, first.HT)
+		sameBits(t, i, "L", res.L, first.L)
+		sameBits(t, i, "Truth", res.Truth, first.Truth)
+	}
+}
+
+func TestEstimateMaxDominanceBottomKDeterministic(t *testing.T) {
+	m := spreadMatrix(400)
+	seeder := xhash.Seeder{Salt: 777}
+	first, err := EstimateMaxDominanceBottomK(m, 100, seeder, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < determinismRounds; i++ {
+		res, err := EstimateMaxDominanceBottomK(m, 100, seeder, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBits(t, i, "HT", res.HT, first.HT)
+		sameBits(t, i, "L", res.L, first.L)
+		sameBits(t, i, "Truth", res.Truth, first.Truth)
+	}
+}
+
+func TestEstimateMinDominanceDeterministic(t *testing.T) {
+	m := spreadMatrix(400)
+	seeder := xhash.Seeder{Salt: 9}
+	first, err := EstimateMinDominance(m, 1e-9, 1e-9, seeder, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < determinismRounds; i++ {
+		res, err := EstimateMinDominance(m, 1e-9, 1e-9, seeder, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBits(t, i, "HT", res.HT, first.HT)
+		sameBits(t, i, "Truth", res.Truth, first.Truth)
+	}
+}
+
+func TestMultiDistinctDeterministic(t *testing.T) {
+	const n = 600
+	sets := make([]map[dataset.Key]bool, 3)
+	for r := range sets {
+		sets[r] = make(map[dataset.Key]bool)
+		for i := 0; i < n; i++ {
+			if (i+r)%(r+2) == 0 {
+				sets[r][dataset.Key(uint64(i)*11400714819323198485+7)] = true
+			}
+		}
+	}
+	md, err := NewMultiDistinct(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeder := xhash.Seeder{Salt: 4242}
+	first, err := md.Estimate(sets, seeder, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Sampled == 0 {
+		t.Fatal("empty sample: test exercises nothing")
+	}
+	for i := 1; i < determinismRounds; i++ {
+		res, err := md.Estimate(sets, seeder, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBits(t, i, "HT", res.HT, first.HT)
+		sameBits(t, i, "L", res.L, first.L)
+	}
+}

@@ -141,12 +141,10 @@ func EstimateDistinct(n1, n2 map[dataset.Key]bool, p1, p2 float64, seeder xhash.
 		return members[h] && seeder.Seed(instance, uint64(h)) < p
 	}
 	var c DistinctCounts
-	seen := make(map[dataset.Key]bool)
 	consider := func(h dataset.Key) {
-		if seen[h] || (sel != nil && !sel(h)) {
+		if sel != nil && !sel(h) {
 			return
 		}
-		seen[h] = true
 		s1 := inSample(0, n1, p1, h)
 		s2 := inSample(1, n2, p2, h)
 		if !s1 && !s2 {
@@ -156,10 +154,11 @@ func EstimateDistinct(n1, n2 map[dataset.Key]bool, p1, p2 float64, seeder xhash.
 		u2 := seeder.Seed(1, uint64(h))
 		c.Add(Categorize(s1, s2, u1, u2, p1, p2))
 	}
-	for h := range n1 {
-		consider(h)
-	}
-	for h := range n2 {
+	// The counts are integers, so any union order gives the same answer —
+	// but the iteration goes through sortedUnionKeys anyway: every union
+	// walk in this package is deterministic, so none of them can drift
+	// into float accumulation without tripping summarylint.
+	for _, h := range sortedUnionKeys(n1, n2) {
 		consider(h)
 	}
 	return c

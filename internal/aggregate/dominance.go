@@ -39,12 +39,10 @@ func EstimateMaxDominance(m *dataset.Matrix, tau1, tau2 float64, seeder xhash.Se
 	s2 := sampling.PoissonPPS(m.Instances[1], tau2, seedFn(1))
 	res := DominanceResult{Sampled1: s1.Len(), Sampled2: s2.Len()}
 	tau := []float64{tau1, tau2}
-	seen := make(map[dataset.Key]bool)
 	consider := func(h dataset.Key) {
-		if seen[h] || (sel != nil && !sel(h)) {
+		if sel != nil && !sel(h) {
 			return
 		}
-		seen[h] = true
 		o := estimator.PPSOutcome{
 			Tau:     tau,
 			U:       []float64{seeder.Seed(0, uint64(h)), seeder.Seed(1, uint64(h))},
@@ -60,10 +58,9 @@ func EstimateMaxDominance(m *dataset.Matrix, tau1, tau2 float64, seeder xhash.Se
 		res.HT += estimator.MaxHTPPS(o)
 		res.L += estimator.MaxL2PPS(o)
 	}
-	for h := range s1.Values {
-		consider(h)
-	}
-	for h := range s2.Values {
+	// Ascending key order (not map order): the float sums must be
+	// bit-identical across runs. The union is already deduplicated.
+	for _, h := range sortedUnionKeys(s1.Values, s2.Values) {
 		consider(h)
 	}
 	res.Truth = m.SumAggregate(dataset.Max, sel)

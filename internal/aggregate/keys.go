@@ -1,0 +1,32 @@
+package aggregate
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// sortedUnionKeys returns the union of the maps' keys in ascending order.
+// Every union estimator in this package iterates sample maps through this
+// helper so per-key terms accumulate in a specified order: float addition
+// is not associative, and summing in Go's randomized map order made the
+// estimates differ in the low bits from run to run (the PR-5
+// nondeterminism class summarylint's maporder/floatsum checks now flag).
+func sortedUnionKeys[V any](ms ...map[dataset.Key]V) []dataset.Key {
+	n := 0
+	for _, m := range ms {
+		n += len(m)
+	}
+	seen := make(map[dataset.Key]bool, n)
+	keys := make([]dataset.Key, 0, n)
+	for _, m := range ms {
+		for h := range m {
+			if !seen[h] {
+				seen[h] = true
+				keys = append(keys, h)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -61,7 +61,10 @@ func EstimateMinDominance(m *dataset.Matrix, tau1, tau2 float64, seeder xhash.Se
 	s2 := sampling.PoissonPPS(m.Instances[1], tau2, seedFn(1))
 	var res MinDominanceResult
 	tau := []float64{tau1, tau2}
-	for h, v1 := range s1.Values {
+	// Ascending key order (not map order): res.HT accumulates floats, so
+	// the walk must be deterministic for bit-identical estimates.
+	for _, h := range sortedUnionKeys(s1.Values) {
+		v1 := s1.Values[h]
 		v2, ok := s2.Values[h]
 		if !ok || (sel != nil && !sel(h)) {
 			continue

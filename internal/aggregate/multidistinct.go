@@ -58,12 +58,10 @@ func (m *MultiDistinct) Estimate(sets []map[dataset.Key]bool, seeder xhash.Seede
 	for i := 0; i < r; i++ {
 		htCoeff *= m.p
 	}
-	seen := make(map[dataset.Key]bool)
 	consider := func(h dataset.Key) {
-		if seen[h] || (sel != nil && !sel(h)) {
+		if sel != nil && !sel(h) {
 			return
 		}
-		seen[h] = true
 		// Per-key outcome: entry i is sampled (in the weighted binary
 		// sense) iff the key is in set i and its seed is below p.
 		o := estimator.BinaryKnownSeedsOutcome{
@@ -96,10 +94,10 @@ func (m *MultiDistinct) Estimate(sets []map[dataset.Key]bool, seeder xhash.Seede
 			res.HT += 1 / htCoeff
 		}
 	}
-	for _, set := range sets {
-		for h := range set {
-			consider(h)
-		}
+	// Ascending key order (not map order): res.L accumulates floats, so
+	// the union walk must be deterministic for bit-identical estimates.
+	for _, h := range sortedUnionKeys(sets...) {
+		consider(h)
 	}
 	return res, nil
 }

@@ -229,6 +229,7 @@ func (s *Summarizer) SummarizeSetBottomK(instance int, members map[dataset.Key]b
 		seed float64
 	}
 	top := make([]seeded, 0, k+1)
+	//summarylint:ignore bounded top-(k+1) selection by per-key seed: the kept set depends only on seed values, not arrival order
 	for h := range members {
 		u := s.seeder.Seed(instance, uint64(h))
 		if len(top) < k+1 {

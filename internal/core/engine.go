@@ -277,6 +277,7 @@ func (s *Summarizer) SummarizeMultiPPSWith(cfg engine.Config, instances []int, i
 	}
 	st := s.StreamMultiPPS(cfg, instances, taus)
 	for i, in := range ins {
+		//summarylint:ignore sampler Push keeps keys by per-key seed threshold, so the sample is arrival-order independent (property-tested ≡ sequential)
 		for h, v := range in {
 			st.Push(i, h, v)
 		}
@@ -293,6 +294,7 @@ func (s *Summarizer) SummarizeMultiBottomKWith(cfg engine.Config, instances []in
 	}
 	st := s.StreamMultiBottomK(cfg, instances, k, fam)
 	for i, in := range ins {
+		//summarylint:ignore bottom-k Push keeps the k smallest ranks, so the sample is arrival-order independent (property-tested ≡ sequential)
 		for h, v := range in {
 			st.Push(i, h, v)
 		}

@@ -87,6 +87,7 @@ func (p *PPSSummary) Lookup(h dataset.Key) (float64, bool) {
 
 // AppendKeys implements PPSReader.
 func (p *PPSSummary) AppendKeys(dst []dataset.Key) []dataset.Key {
+	//summarylint:ignore AppendKeys is unordered by contract; unionReaderKeys sorts and dedups before any query walks the keys
 	for h := range p.Sample.Values {
 		dst = append(dst, h)
 	}
@@ -101,6 +102,7 @@ func (s *SetSummary) Contains(h dataset.Key) bool { return s.Members[h] }
 
 // AppendKeys implements SetReader.
 func (s *SetSummary) AppendKeys(dst []dataset.Key) []dataset.Key {
+	//summarylint:ignore AppendKeys is unordered by contract; unionReaderKeys sorts and dedups before any query walks the keys
 	for h := range s.Members {
 		dst = append(dst, h)
 	}
@@ -121,6 +123,7 @@ func (b *BottomKSummary) Lookup(h dataset.Key) (float64, bool) {
 
 // AppendKeys implements BottomKReader.
 func (b *BottomKSummary) AppendKeys(dst []dataset.Key) []dataset.Key {
+	//summarylint:ignore AppendKeys is unordered by contract; unionReaderKeys sorts and dedups before any query walks the keys
 	for h := range b.Sample.Values {
 		dst = append(dst, h)
 	}

@@ -56,18 +56,25 @@ func (v *viewData) Size() int { return v.n }
 func (v *viewData) seederOf() xhash.Seeder { return v.seeder }
 
 // weightedKeyAt reads the key of 16-byte entry i.
+//
+//summarylint:hot
 func (v *viewData) weightedKeyAt(i int) uint64 {
 	return binary.LittleEndian.Uint64(v.entries[i*16:])
 }
 
 // weightedValueAt reads the value of 16-byte entry i.
+//
+//summarylint:hot
 func (v *viewData) weightedValueAt(i int) float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(v.entries[i*16+8:]))
 }
 
 // lookupWeighted binary-searches the 16-byte entries for key h. Keys are
 // strictly ascending (enforced at parse), so the search is exact.
+//
+//summarylint:hot
 func (v *viewData) lookupWeighted(h dataset.Key) (float64, bool) {
+	//summarylint:ignore the sort.Search predicate captures only v and does not escape, so it stays on the stack (benchgate pins 0 allocs/op)
 	i := sort.Search(v.n, func(i int) bool { return v.weightedKeyAt(i) >= uint64(h) })
 	if i < v.n && v.weightedKeyAt(i) == uint64(h) {
 		return v.weightedValueAt(i), true
@@ -239,6 +246,8 @@ func (v *VarOptView) VarOptTau() float64 { return v.tau }
 
 // SubsetSum implements VarOptReader: adjusted weights summed in ascending
 // key order directly off the wire.
+//
+//summarylint:hot
 func (v *VarOptView) SubsetSum(sel func(dataset.Key) bool) float64 {
 	total := 0.0
 	for i := 0; i < v.n; i++ {
@@ -266,6 +275,8 @@ func (v *VarOptView) MarshalJSON() ([]byte, error) { return v.materialize().Mars
 // weightedSubsetSum is WeightedSample.SubsetSum over wire entries: the
 // same per-key terms (v / InclusionProb(v)) in the same ascending order,
 // so the result is bit-identical to the hydrated estimate.
+//
+//summarylint:hot
 func weightedSubsetSum(v *viewData, fam sampling.RankFamily, tau float64, sel func(dataset.Key) bool) float64 {
 	total := 0.0
 	for i := 0; i < v.n; i++ {

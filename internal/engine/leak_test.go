@@ -1,0 +1,42 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sampling"
+	"repro/internal/testutil"
+	"repro/internal/xhash"
+)
+
+// TestCloseReleasesWorkerGoroutines pins the shutdown contract of every
+// goroutine-owning pipeline configuration: after Close returns, no shard
+// worker is left behind — including on pipelines that snapshotted
+// mid-stream (Snapshot quiesces and restarts the workers, a natural
+// place to strand one).
+func TestCloseReleasesWorkerGoroutines(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	seeder := xhash.Seeder{Salt: 41}
+	seed := func(h dataset.Key) float64 { return seeder.Seed(0, uint64(h)) }
+	for _, cfg := range []Config{
+		{Parallel: true, Shards: 4},
+		{Async: true},
+		{Parallel: true, Shards: 2, Async: true, BatchSize: 16, QueueDepth: 2},
+	} {
+		e := NewBottomK(16, sampling.PPS{}, seed, cfg)
+		// Keys are distinct across both loops: a stream carries at most
+		// one value per key.
+		for i := 0; i < 2_000; i++ {
+			e.Push(dataset.Key(i+1), float64(i%31+1))
+		}
+		if s := e.Snapshot(); s == nil {
+			t.Fatalf("cfg %+v: nil snapshot", cfg)
+		}
+		for i := 0; i < 1_000; i++ {
+			e.Push(dataset.Key(i+2_001), 1)
+		}
+		if s := e.Close(); s.Len() != 16 {
+			t.Fatalf("cfg %+v: final len %d, want 16", cfg, s.Len())
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The three directive comments the suite understands. Directives use the
+// go:directive spelling (no space after //) so gofmt leaves them alone.
+const (
+	dirIgnore  = "//summarylint:ignore"
+	dirHot     = "//summarylint:hot"
+	dirNilsafe = "//summarylint:nilsafe"
+)
+
+// ignoreSet indexes every `//summarylint:ignore` directive by file and
+// line. A directive suppresses diagnostics on its own line and on the
+// line directly below it (so it can ride at end-of-line or on its own
+// line above the flagged statement).
+type ignoreSet struct {
+	fset *token.FileSet
+	// byLine maps file -> directive line -> reason ("" = missing).
+	byLine map[string]map[int]string
+	// pos remembers each directive's position for missing-reason reports.
+	pos map[string]map[int]token.Pos
+}
+
+func collectIgnores(prog *Program) *ignoreSet {
+	s := &ignoreSet{
+		fset:   prog.Fset,
+		byLine: make(map[string]map[int]string),
+		pos:    make(map[string]map[int]token.Pos),
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					reason, ok := parseIgnore(c.Text)
+					if !ok {
+						continue
+					}
+					p := prog.Fset.Position(c.Pos())
+					if s.byLine[p.Filename] == nil {
+						s.byLine[p.Filename] = make(map[int]string)
+						s.pos[p.Filename] = make(map[int]token.Pos)
+					}
+					s.byLine[p.Filename][p.Line] = reason
+					s.pos[p.Filename][p.Line] = c.Pos()
+				}
+			}
+		}
+	}
+	return s
+}
+
+// parseIgnore returns (reason, true) when text is an ignore directive.
+// The reason is everything after the directive word, trimmed; empty
+// means the mandatory reason is missing.
+func parseIgnore(text string) (string, bool) {
+	if !strings.HasPrefix(text, dirIgnore) {
+		return "", false
+	}
+	rest := text[len(dirIgnore):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. //summarylint:ignoreXYZ — not ours
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// suppresses reports whether a reasoned ignore directive covers
+// file:line (directive on the same line or the line above).
+func (s *ignoreSet) suppresses(file string, line int) bool {
+	lines := s.byLine[file]
+	if lines == nil {
+		return false
+	}
+	if r, ok := lines[line]; ok && r != "" {
+		return true
+	}
+	if r, ok := lines[line-1]; ok && r != "" {
+		return true
+	}
+	return false
+}
+
+// missingReasons returns one diagnostic per reason-less ignore directive.
+func (s *ignoreSet) missingReasons() []Diagnostic {
+	var out []Diagnostic
+	for file, lines := range s.byLine {
+		for line, reason := range lines {
+			if reason != "" {
+				continue
+			}
+			out = append(out, diag(s.fset, "directive", s.pos[file][line],
+				"summarylint:ignore requires a reason: //summarylint:ignore <why this is safe>"))
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether a comment group carries the given
+// directive as a standalone comment line.
+func hasDirective(doc *ast.CommentGroup, dir string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == dir || strings.HasPrefix(c.Text, dir+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// isHot reports whether fd is annotated `//summarylint:hot`.
+func isHot(fd *ast.FuncDecl) bool {
+	return hasDirective(fd.Doc, dirHot)
+}
+
+// nilsafeTypes collects the names of types in file annotated
+// `//summarylint:nilsafe` (directive on the TypeSpec or its GenDecl).
+func nilsafeTypes(f *ast.File) map[string]bool {
+	out := make(map[string]bool)
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		declMarked := hasDirective(gd.Doc, dirNilsafe)
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			if declMarked || hasDirective(ts.Doc, dirNilsafe) || hasDirective(ts.Comment, dirNilsafe) {
+				out[ts.Name.Name] = true
+			}
+		}
+	}
+	return out
+}

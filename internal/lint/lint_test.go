@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden tests load fixture packages from testdata/src (excluded
+// from the normal build by the testdata convention) and match the
+// suite's diagnostics against `// want` expectation comments: every want
+// must be hit by a diagnostic on its line whose message matches the
+// regexp, and every diagnostic must be claimed by a want.
+
+type wantComment struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantMarker = regexp.MustCompile("// want [`\"](.+)[`\"]$")
+
+func collectWants(t *testing.T, prog *Program) []wantComment {
+	t.Helper()
+	var wants []wantComment
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantMarker.FindStringSubmatch(c.Text)
+					if m == nil {
+						if strings.Contains(c.Text, "// want") {
+							t.Fatalf("%s: malformed want comment: %s", prog.Fset.Position(c.Pos()), c.Text)
+						}
+						continue
+					}
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", prog.Fset.Position(c.Pos()), m[1], err)
+					}
+					p := prog.Fset.Position(c.Pos())
+					wants = append(wants, wantComment{p.Filename, p.Line, re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func testGolden(t *testing.T, a Analyzer, pkgs ...string) {
+	t.Helper()
+	prog, err := LoadTestdata(filepath.Join("testdata", "src"), pkgs...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", pkgs, err)
+	}
+	diags := Run(prog, []Analyzer{a})
+	wants := collectWants(t, prog)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %v has no want comments", pkgs)
+	}
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		hit := false
+		for i, w := range wants {
+			if w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestMapOrderGolden(t *testing.T) {
+	testGolden(t, MapOrder{}, "maporder/a")
+}
+
+func TestFloatSumGolden(t *testing.T) {
+	testGolden(t, FloatSum{}, "floatsum/a")
+}
+
+func TestLockOrderGolden(t *testing.T) {
+	a := LockOrder{
+		Classes: []LockClass{
+			{PathSuffix: "lockorder/reg", TypeName: "Registry", Field: "mu", Label: "reg.Registry.mu"},
+			{PathSuffix: "lockorder/st", TypeName: "Store", Field: "mu", Label: "st.Store.mu"},
+		},
+		Packages: []string{"lockorder/reg", "lockorder/st"},
+	}
+	testGolden(t, a, "lockorder/reg", "lockorder/st")
+}
+
+func TestHotAllocGolden(t *testing.T) {
+	testGolden(t, HotAlloc{}, "hotalloc/a")
+}
+
+func TestNilGuardGolden(t *testing.T) {
+	testGolden(t, NilGuard{}, "nilguard/a")
+}
+
+// TestIgnoreNeedsReason: a bare //summarylint:ignore is itself reported.
+func TestIgnoreNeedsReason(t *testing.T) {
+	prog, err := LoadTestdata(filepath.Join("testdata", "src"), "directive/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, []Analyzer{MapOrder{}})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "directive" || !strings.Contains(d.Message, "requires a reason") {
+		t.Fatalf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestScope: package-suffix scoping matches whole path segments only.
+func TestScope(t *testing.T) {
+	cases := []struct {
+		path string
+		sufs []string
+		want bool
+	}{
+		{"repro/internal/core", []string{"internal/core"}, true},
+		{"internal/core", []string{"internal/core"}, true},
+		{"repro/internal/coreutils", []string{"internal/core"}, false},
+		{"repro/internal/server", []string{"internal/core"}, false},
+		{"anything", nil, true},
+	}
+	for _, c := range cases {
+		if got := inScope(c.path, c.sufs); got != c.want {
+			t.Errorf("inScope(%q, %v) = %v, want %v", c.path, c.sufs, got, c.want)
+		}
+	}
+}
+
+// TestRepoIsClean runs the full default suite over the repository
+// itself, so `go test` fails on any new violation even before the CI
+// summarylint step runs. This is also the regression test for the
+// acceptance mutations: deleting an obs nil guard or swapping the two
+// acquisitions in Registry.Snapshot turns this red.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list -export over the module")
+	}
+	prog, err := Load(filepath.Join("..", ".."), "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := Run(prog, DefaultAnalyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d summarylint finding(s); run: go run ./cmd/summarylint ./...", len(diags))
+	}
+}

@@ -1,0 +1,12 @@
+// Package a is the directive golden fixture: an ignore without the
+// mandatory reason is itself a finding.
+package a
+
+func count(m map[uint64]bool) int {
+	n := 0
+	//summarylint:ignore
+	for range m {
+		n++
+	}
+	return n
+}

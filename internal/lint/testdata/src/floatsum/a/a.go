@@ -1,0 +1,58 @@
+// Package a is the floatsum golden fixture: unordered float
+// accumulation over map ranges and over unsorted key slices.
+package a
+
+import "sort"
+
+func badMapSum(m map[uint64]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `sum order is unspecified`
+	}
+	return total
+}
+
+func badUnsortedKeys(m map[uint64]float64) float64 {
+	var keys []uint64
+	for k := range m {
+		keys = append(keys, k)
+	}
+	total := 0.0
+	for _, k := range keys {
+		total += m[k] // want `never sorted after collection`
+	}
+	return total
+}
+
+func goodSortedKeys(m map[uint64]float64) float64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+func goodIntCount(m map[uint64]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func goodLoopLocal(m map[uint64]float64) float64 {
+	mx := 0.0
+	for _, v := range m {
+		d := v * 2
+		d += 1 // per-iteration local: resets every pass
+		if d > mx {
+			mx = d
+		}
+	}
+	return mx
+}

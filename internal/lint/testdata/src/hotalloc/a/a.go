@@ -1,0 +1,76 @@
+// Package a is the hotalloc golden fixture: each bad* function seeds one
+// allocation class inside a //summarylint:hot body.
+package a
+
+type item struct {
+	k uint64
+	v float64
+}
+
+func box(x interface{}) { _ = x }
+
+//summarylint:hot
+func badPtrLit(k uint64) *item {
+	return &item{k: k} // want `&composite literal`
+}
+
+//summarylint:hot
+func badSliceLit() []uint64 {
+	return []uint64{1, 2, 3} // want `slice composite literal`
+}
+
+//summarylint:hot
+func badMake(n int) []uint64 {
+	return make([]uint64, 0, n) // want `make allocates`
+}
+
+//summarylint:hot
+func badAppend(dst []uint64, k uint64) []uint64 {
+	return append(dst, k) // want `append in hot path`
+}
+
+//summarylint:hot
+func badClosure(n int) func() int {
+	return func() int { return n } // want `closure in hot path`
+}
+
+//summarylint:hot
+func badBox(k uint64) {
+	box(k) // want `boxes k into interface`
+}
+
+//summarylint:hot
+func badIfaceAssign(k uint64) {
+	var x interface{}
+	x = k // want `boxes k into interface`
+	_ = x
+}
+
+//summarylint:hot
+func badDefer(mu interface{ Unlock() }) {
+	defer mu.Unlock() // want `defer in hot path`
+}
+
+// goodHot allocates nothing: map access, value struct literals, float
+// math, and calls with concrete parameters are all fine.
+//
+//summarylint:hot
+func goodHot(m map[uint64]float64, k uint64, v float64) item {
+	if w, ok := m[k]; ok {
+		v += w
+	}
+	m[k] = v
+	return item{k: k, v: v}
+}
+
+// notHot allocates freely: only annotated functions are checked.
+func notHot(n int) []uint64 {
+	out := make([]uint64, 0, n)
+	return append(out, 1)
+}
+
+//summarylint:hot
+func suppressedAppend(dst []uint64, k uint64) []uint64 {
+	//summarylint:ignore golden fixture: dst is presized by the caller
+	return append(dst, k)
+}

@@ -1,0 +1,65 @@
+// Package reg mimics the repo's registry: the higher-ranked lock class,
+// reaching the store through a Persister interface exactly like
+// server.Registry does.
+package reg
+
+import (
+	"sync"
+
+	"lockorder/st"
+)
+
+// Persister is the interface the registry persists through; st.Store is
+// its only implementation in the fixture.
+type Persister interface {
+	Append()
+	Snapshot()
+}
+
+// Registry owns the registry-side mutex.
+type Registry struct {
+	mu        sync.Mutex
+	persister Persister
+}
+
+// GoodPut follows the hierarchy: registry lock first, then the
+// persister's store lock through the interface.
+func (r *Registry) GoodPut() {
+	r.mu.Lock()
+	r.persister.Append()
+	r.mu.Unlock()
+}
+
+// BadSnapshot inverts the order: the persister acquires the store lock
+// before the registry lock is taken. No overlap exists — the store
+// releases before returning — but the hierarchy is about acquisition
+// order on the path, so this must be flagged.
+func (r *Registry) BadSnapshot() {
+	r.persister.Snapshot()
+	r.mu.Lock() // want `acquires reg.Registry.mu after st.Store.mu`
+	r.mu.Unlock()
+}
+
+// BadDirect inverts the order through a concrete store reference.
+func (r *Registry) BadDirect(s *st.Store) {
+	s.Append()
+	r.mu.Lock() // want `acquires reg.Registry.mu after st.Store.mu`
+	r.mu.Unlock()
+}
+
+// CallsBad reaches the inversion only through BadSnapshot; it is
+// reported there, not again at every caller.
+func (r *Registry) CallsBad() {
+	r.BadSnapshot()
+}
+
+// GoodWorker locks the store inside a goroutine body. The literal runs
+// on its own stack, so no cross-path order with the registry lock below
+// is implied.
+func (r *Registry) GoodWorker(s *st.Store) {
+	go func() {
+		s.Append()
+	}()
+	r.mu.Lock()
+	r.mu.Unlock()
+}

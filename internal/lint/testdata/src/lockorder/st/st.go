@@ -1,0 +1,21 @@
+// Package st mimics the repo's store: the lower-ranked lock class.
+package st
+
+import "sync"
+
+// Store owns the store-side mutex.
+type Store struct {
+	mu sync.Mutex
+}
+
+// Append takes and releases the store lock.
+func (s *Store) Append() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// Snapshot takes and releases the store lock.
+func (s *Store) Snapshot() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}

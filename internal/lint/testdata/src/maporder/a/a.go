@@ -1,0 +1,100 @@
+// Package a is the maporder golden fixture: each bad* function seeds one
+// violation class, each good* function exercises a benign sink.
+package a
+
+import "sort"
+
+func sink(uint64) {}
+
+func badCall(m map[uint64]float64) {
+	for k := range m { // want `calls sink, whose order sensitivity`
+		sink(k)
+	}
+}
+
+func badFloat(m map[uint64]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `accumulates in iteration order`
+		total += v
+	}
+	return total
+}
+
+func badAppendNoSort(m map[uint64]float64) []uint64 {
+	var keys []uint64
+	for k := range m { // want `appends map keys to keys without sorting`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func badReturn(m map[uint64]float64) uint64 {
+	for k := range m { // want `returns from inside the loop`
+		if k > 10 {
+			return k
+		}
+	}
+	return 0
+}
+
+func badAssign(m map[uint64]float64) float64 {
+	last := 0.0
+	for _, v := range m { // want `assigns last a value that may depend on iteration order`
+		last = v
+	}
+	return last
+}
+
+func goodCount(m map[uint64]float64) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func goodCollectSort(m map[uint64]float64) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func goodInvert(m map[uint64]uint64) map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func goodDelete(m map[uint64]float64) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func goodFlag(m map[uint64]float64) bool {
+	found := false
+	for _, v := range m {
+		if v < 0 {
+			found = true
+		}
+	}
+	return found
+}
+
+func suppressed(m map[uint64]float64) float64 {
+	total := 0.0
+	//summarylint:ignore golden fixture: suppression with a reason silences the finding
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,49 @@
+// Package a is the nilguard golden fixture: a nilsafe-annotated
+// instrument with guarded, delegating, and unguarded methods.
+package a
+
+// Counter is inert on a nil receiver.
+//
+//summarylint:nilsafe
+type Counter struct {
+	n uint64
+}
+
+// Add is properly guarded.
+func (c *Counter) Add(d uint64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+// Inc delegates to the guarded Add.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value guards with a zero return.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// ValueVia delegates through a return.
+func (c *Counter) ValueVia() uint64 { return c.Value() }
+
+// Bad lacks the guard and must be flagged.
+func (c *Counter) Bad() uint64 { // want `lacks the nil-receiver guard`
+	return c.n
+}
+
+// reset is unexported: out of scope.
+func (c *Counter) reset() { c.n = 0 }
+
+// Snapshot has a value receiver: it cannot be nil.
+func (c Counter) Snapshot() uint64 { return c.n }
+
+// Unmarked carries no annotation, so its methods are unchecked.
+type Unmarked struct{ n uint64 }
+
+// Value is unguarded but fine: the type is not marked nilsafe.
+func (u *Unmarked) Value() uint64 { return u.n }

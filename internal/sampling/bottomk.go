@@ -71,6 +71,7 @@ func BottomK(in dataset.Instance, k int, fam RankFamily, seed SeedFunc) *Weighte
 	guard := fastRejectMult(fam)
 	full := false
 	tau, tauGuard := 0.0, math.NaN()
+	//summarylint:ignore bottom-k heap keeps the k+1 smallest ranks, which depend only on per-key seeds, not arrival order
 	for key, v := range in {
 		if full {
 			u := seed(key)

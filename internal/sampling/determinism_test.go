@@ -1,0 +1,51 @@
+package sampling
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// Determinism regression test for ObliviousSample.SubsetSum, which
+// accumulated its HT terms in randomized map order until summarylint's
+// floatsum check flagged it. With sampled values spanning ~60 orders of
+// magnitude the old iteration almost surely produced different low
+// mantissa bits on consecutive calls over the same sample.
+func TestObliviousSubsetSumDeterministic(t *testing.T) {
+	const n = 500
+	universe := make([]dataset.Key, 0, n)
+	in := make(dataset.Instance, n)
+	for i := 0; i < n; i++ {
+		h := dataset.Key(uint64(i)*2654435761 + 3)
+		universe = append(universe, h)
+		in[h] = math.Pow(10, float64(i%61)-30)
+	}
+	p := func(h dataset.Key) float64 { return 0.25 + float64(h%512)/1024 }
+	seed := func(h dataset.Key) float64 { return float64(h%9973) / 9973 }
+
+	s := ObliviousPoisson(universe, in, p, seed)
+	if len(s.Sampled) < 50 {
+		t.Fatalf("only %d keys sampled: test exercises nothing", len(s.Sampled))
+	}
+
+	// Reference: the HT sum accumulated explicitly in ascending key order.
+	keys := make([]dataset.Key, 0, len(s.Sampled))
+	for h := range s.Sampled {
+		keys = append(keys, h)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	want := 0.0
+	for _, h := range keys {
+		want += s.Sampled[h] / p(h)
+	}
+
+	for i := 0; i < 20; i++ {
+		got := s.SubsetSum(nil)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("round %d: SubsetSum = %x, ascending-order reference = %x (non-deterministic summation order)",
+				i, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}

@@ -155,14 +155,23 @@ func ObliviousPoisson(universe []dataset.Key, in dataset.Instance, p func(datase
 }
 
 // SubsetSum is the HT subset-sum estimator over the oblivious sample.
+// Terms are accumulated in ascending key order, not map order, for the
+// same bit-identical reproducibility contract WeightedSample.SubsetSum
+// keeps: float addition is not associative, and this method summed in
+// randomized map order until summarylint's floatsum check flagged it.
 func (s *ObliviousSample) SubsetSum(sel func(dataset.Key) bool) float64 {
+	keys := make([]dataset.Key, 0, len(s.Sampled))
+	for h := range s.Sampled {
+		keys = append(keys, h)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	total := 0.0
-	for h, v := range s.Sampled {
+	for _, h := range keys {
 		if sel != nil && !sel(h) {
 			continue
 		}
 		if p := s.P(h); p > 0 {
-			total += v / p
+			total += s.Sampled[h] / p
 		}
 	}
 	return total

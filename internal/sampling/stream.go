@@ -48,6 +48,8 @@ func NewStreamBottomK(k int, fam RankFamily, seed SeedFunc) *StreamBottomK {
 }
 
 // Push offers one (key, value) pair to the sampler.
+//
+//summarylint:hot
 func (s *StreamBottomK) Push(key dataset.Key, v float64) {
 	if s.full {
 		u := s.seed(key)
@@ -64,6 +66,8 @@ func (s *StreamBottomK) Push(key dataset.Key, v float64) {
 
 // pushFull resolves an arrival inside the guard band of a full sampler
 // with the exact rank comparison, evicting the heap top on accept.
+//
+//summarylint:hot
 func (s *StreamBottomK) pushFull(u float64, key dataset.Key, v float64) {
 	r := s.fam.Rank(u, v)
 	if r >= s.tau {
@@ -78,6 +82,8 @@ func (s *StreamBottomK) pushFull(u float64, key dataset.Key, v float64) {
 }
 
 // pushFill handles arrivals while the sampler still has room.
+//
+//summarylint:hot
 func (s *StreamBottomK) pushFill(key dataset.Key, v float64) {
 	r := s.fam.Rank(s.seed(key), v)
 	if math.IsInf(r, 1) {
@@ -153,6 +159,8 @@ func NewStreamPoissonPPS(tauStar float64, seed SeedFunc) *StreamPoissonPPS {
 func (s *StreamPoissonPPS) RankTau() float64 { return s.rankTau }
 
 // Push offers one (key, value) pair.
+//
+//summarylint:hot
 func (s *StreamPoissonPPS) Push(key dataset.Key, v float64) {
 	u := s.seed(key)
 	if u >= s.tauGuard*v {

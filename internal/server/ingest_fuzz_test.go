@@ -50,13 +50,13 @@ func FuzzScanPairs(f *testing.F) {
 func FuzzScanMultiPairs(f *testing.F) {
 	f.Add(true, []byte("key,instance,value\n1,0,2\n1,7,3\n"))
 	f.Add(false, []byte(`{"key":1,"instance":0,"value":2}`+"\n"))
-	f.Add(false, []byte(`{"key":1,"value":2}`+"\n"))        // missing instance
-	f.Add(true, []byte("1,3,2\n"))                          // unlisted instance
-	f.Add(true, []byte("1,-9223372036854775808,2\n"))       // extreme instance
-	f.Add(true, []byte("1,0,2\n1,0,2\n"))                   // repeated (key, instance)
-	f.Add(true, []byte("1,0,2,4\n"))                        // extra column
-	f.Add(true, []byte("1,0\n"))                            // missing column
-	f.Add(true, []byte("key,instance,value\n"))             // header only
+	f.Add(false, []byte(`{"key":1,"value":2}`+"\n"))  // missing instance
+	f.Add(true, []byte("1,3,2\n"))                    // unlisted instance
+	f.Add(true, []byte("1,-9223372036854775808,2\n")) // extreme instance
+	f.Add(true, []byte("1,0,2\n1,0,2\n"))             // repeated (key, instance)
+	f.Add(true, []byte("1,0,2,4\n"))                  // extra column
+	f.Add(true, []byte("1,0\n"))                      // missing column
+	f.Add(true, []byte("key,instance,value\n"))       // header only
 	f.Add(false, []byte(`{"key":1,"instance":1e99,"value":2}`+"\n"))
 	f.Add(true, []byte("1,0,"+strings.Repeat("7", maxIngestLine+10))) // huge field
 	f.Add(false, bytes.Repeat([]byte{0xef, 0xbb, 0xbf}, 32))

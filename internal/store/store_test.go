@@ -17,6 +17,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/sampling"
 	"repro/internal/server"
+	"repro/internal/testutil"
 )
 
 // The store implements the registry's persistence seam.
@@ -196,6 +197,9 @@ func TestStoreRoundTrip(t *testing.T) {
 }
 
 func TestSnapshotLifecycle(t *testing.T) {
+	// Every store opened here is closed; the snapshot workers must all
+	// have exited by the end of the test.
+	testutil.VerifyNoLeaks(t)
 	dir := t.TempDir()
 	rng := rand.New(rand.NewSource(2))
 	// Automatic snapshots off: every snapshot in this test is an explicit,
@@ -252,6 +256,8 @@ func TestSnapshotLifecycle(t *testing.T) {
 }
 
 func TestAutomaticSnapshotsRunInBackground(t *testing.T) {
+	// Close must stop the snapshot worker, not abandon it.
+	testutil.VerifyNoLeaks(t)
 	dir := t.TempDir()
 	rng := rand.New(rand.NewSource(11))
 	reg, st := reopen(t, dir, Options{SnapshotEvery: 4})
@@ -783,6 +789,7 @@ func TestAppendsProceedDuringSnapshot(t *testing.T) {
 	// The tentpole property: an in-flight snapshot must not block the
 	// serving path. The dump blocks on a gate held by the test; appends
 	// must complete while it is held.
+	testutil.VerifyNoLeaks(t)
 	dir := t.TempDir()
 	rng := rand.New(rand.NewSource(16))
 	st, err := Open(dir, Options{SnapshotEvery: -1}, func(string, core.Summary) error { return nil })

@@ -1,0 +1,32 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewGoroutinesDetectsALiveGoroutine(t *testing.T) {
+	base := goroutineIDs()
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		<-done
+	}()
+	leaked := waitForDrain(base, 50*time.Millisecond)
+	if len(leaked) != 1 {
+		t.Fatalf("got %d new goroutines, want exactly the blocked one:\n%v", len(leaked), leaked)
+	}
+	close(done)
+	<-exited
+	if leaked := waitForDrain(base, 2*time.Second); len(leaked) != 0 {
+		t.Fatalf("goroutine still reported after exit: %v", leaked)
+	}
+}
+
+func TestVerifyNoLeaksPassesOnCleanTest(t *testing.T) {
+	VerifyNoLeaks(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
