@@ -17,6 +17,8 @@
 //	summaryd -data-dir d -fsync -snapshot-every 1000  # power-loss durable
 //	summaryd -log-format json -log-level debug  # structured ops logging
 //	summaryd -pprof-addr 127.0.0.1:6060         # profiling side listener
+//	summaryd -trace-ring 512                    # keep more traces in memory
+//	summaryd -trace=false                       # disable request tracing
 //
 // -shards selects the ingest summarization strategy: 1 (the default) runs
 // the sequential pipeline, n>1 fans out across n hash-partitioned
@@ -66,6 +68,16 @@
 // the data plane. -log-format selects human text (default) or one JSON
 // object per line; -log-level sets the floor (debug silences nothing,
 // warn keeps only slow requests and problems).
+//
+// -trace (on by default) records one span tree per request — handler,
+// engine drain, WAL append/fsync/rotation, background snapshots — into a
+// bounded in-memory ring of -trace-ring completed traces, served as JSON
+// on GET /debug/traces of the main listener. Inbound W3C traceparent
+// headers are honored (the request joins the caller's trace) and a
+// traceparent response header is emitted next to X-Request-ID; slow / 5xx
+// request log lines carry the trace_id so the matching trace is one
+// /debug/traces lookup away. -trace=false removes the recording fast
+// path entirely.
 package main
 
 import (
@@ -85,6 +97,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -131,6 +144,8 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	slowReq := flag.Duration("slow-request", time.Second, "log requests at or above this duration at warn with slow=true (0 disables)")
+	traceOn := flag.Bool("trace", true, "record request traces (W3C traceparent honored and emitted) and serve them on GET /debug/traces")
+	traceRing := flag.Int("trace-ring", trace.DefaultRing, "completed traces kept in the in-memory ring served by /debug/traces")
 	flag.Parse()
 
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -176,6 +191,11 @@ func main() {
 	if *metrics {
 		opts = append(opts, server.WithMetricsEndpoint())
 	}
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New(*traceRing)
+		opts = append(opts, server.WithTracer(tracer))
+	}
 	var st *store.Store
 	if *dataDir != "" {
 		openStart := time.Now()
@@ -185,6 +205,8 @@ func main() {
 			SegmentBytes:  *segmentBytes,
 			Fsync:         *fsync,
 			Metrics:       metricsReg,
+			Tracer:        tracer,
+			Logger:        logger,
 		}, reg.Put)
 		if err != nil {
 			logger.Error("opening store failed", "dir", *dataDir, "error", err)
@@ -252,6 +274,7 @@ func main() {
 		"wire_versions", core.SupportedWireVersions(),
 		"metrics", *metrics,
 		"slow_request", *slowReq,
+		"trace", *traceOn,
 	)
 
 	select {

@@ -40,6 +40,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/randx"
 	"repro/internal/sampling"
 	"repro/internal/server"
@@ -415,6 +417,72 @@ func main() {
 	check(err)
 	mustEqual("recovered sum", afterS.Sum, beforeS.Sum)
 	fmt.Printf("every query answers bit-identically across the kill/recover cycle ✓\n")
+
+	// --- request tracing: one traceparent from client to WAL -------------
+	// The observability counterpart of the acts above: a traced server (as
+	// summaryd runs with -trace) records one span tree per request. The
+	// client opens its own root span, the traceparent header carries it
+	// over HTTP, the server's request span joins the client's trace, and
+	// the store's WAL append records as a grandchild — three layers from
+	// one trace ID, all served back on GET /debug/traces.
+	fmt.Printf("\nrequest tracing (client → server → store):\n\n")
+	tracer := trace.New(16)
+	dirT, err := os.MkdirTemp("", "dispersed-trace-")
+	check(err)
+	defer os.RemoveAll(dirT)
+	regT := server.NewRegistry()
+	stT, err := store.Open(dirT, store.Options{Tracer: tracer}, regT.Put)
+	check(err)
+	defer stT.Close()
+	regT.SetPersister(stT)
+	lnT, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	defer lnT.Close()
+	go func() {
+		_ = http.Serve(lnT, server.New(regT, engine.Config{},
+			server.WithObserver(server.NewObserver(obs.NewRegistry())),
+			server.WithTracer(tracer)))
+	}()
+	cT := client.New("http://"+lnT.Addr().String(), nil)
+
+	root := tracer.StartSpan("dispersed.post", trace.SpanContext{})
+	_, err = cT.PostSummary(trace.ContextWithSpan(ctx, root), "flows", ppsLocal[0])
+	check(err)
+	root.Finish()
+
+	var serverRec *trace.Record
+	for _, rec := range tracer.Traces() {
+		if rec.TraceID == root.TraceID() && rec.RemoteParent {
+			serverRec = &rec
+			break
+		}
+	}
+	if serverRec == nil {
+		fmt.Fprintln(os.Stderr, "tracing: no server-side record joined the client's trace")
+		os.Exit(1)
+	}
+	byID := make(map[string]trace.SpanRecord)
+	for _, sp := range serverRec.Spans {
+		byID[sp.SpanID] = sp
+	}
+	depth := 0
+	for _, sp := range serverRec.Spans {
+		if sp.Name != "store.append" {
+			continue
+		}
+		// Walk up to the request root: client layer + the chain here.
+		depth = 2 // the client's root span + this store span
+		for p := sp.ParentID; p != ""; p = byID[p].ParentID {
+			depth++
+		}
+	}
+	if depth < 3 {
+		fmt.Fprintf(os.Stderr, "tracing: want >= 3 span layers, got %d (%+v)\n", depth, serverRec.Spans)
+		os.Exit(1)
+	}
+	fmt.Printf("trace %s: %d span layers (client root -> server %s -> store.append)\n",
+		root.TraceID(), depth, serverRec.Spans[0].Name)
+	fmt.Printf("one POST produced a multi-hop trace across process boundaries ✓\n")
 }
 
 // multiNdjsonBody renders all sites as one combined (key, instance,

@@ -292,6 +292,17 @@ func weightedSubsetSum(v *viewData, fam sampling.RankFamily, tau float64, sel fu
 	return total
 }
 
+// SummaryRepr reports the representation a stored summary answers
+// queries from: "view" plus the canonical wire length for zero-copy v2
+// views (bytes touched by a full scan), or "hydrated" with 0 for
+// map-backed summaries — the query-explain face of the two paths.
+func SummaryRepr(s Summary) (path string, wireBytes int) {
+	if v, ok := s.(interface{ wireBytes() []byte }); ok {
+		return "view", len(v.wireBytes())
+	}
+	return "hydrated", 0
+}
+
 // DecodeSummaryViewFrom reads one complete v2 message from r and returns
 // the zero-copy view over its bytes. Canonical payloads — everything a
 // conforming encoder produces — take the zero-copy path; a valid but

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/obs/trace"
 	"repro/internal/sampling"
 )
 
@@ -206,23 +207,39 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		finish = func() core.Summary { return st.Close() }
 		stats = st.Stats
 	}
+	// Tracing instruments the request's engine stages from outside the
+	// pipeline: the scan+push loop, the drain (Close), and the registry
+	// registration each get a child span, and the pipeline's final Stats()
+	// are attached to the drain span — the hot loop itself stays untouched.
+	sp := trace.SpanFromContext(r.Context())
+	scan := sp.StartChild("ingest.scan")
 	pairs, err := scanPairs(http.MaxBytesReader(w, r.Body, maxIngestBody), p.format, p.kind == "set", push)
+	scan.SetAttr("format", p.format)
+	scan.SetInt("pairs", pairs)
+	scan.Finish()
 	// The samplers hold goroutines under a parallel config; always drain.
+	drain := sp.StartChild("engine.drain")
 	sum := finish()
 	// Fold the pipeline's final counters into the server totals — the
 	// one-shot read of the Stats() seam (safe after Close), so the hot
 	// loop itself carries no instrumentation. A failed scan still did
 	// this much pipeline work; record it either way.
 	if stats != nil {
-		s.engine.record(stats())
+		st := stats()
+		recordEngineStats(drain, st)
+		s.engine.record(st)
 	} else {
 		s.engine.ingests.Add(1)
 	}
+	drain.Finish()
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	if err := s.reg.Put(p.dataset, sum); err != nil {
+	put := sp.StartChild("registry.put")
+	err = s.reg.PutCtx(r.Context(), p.dataset, sum)
+	put.Finish()
+	if err != nil {
 		writeError(w, err)
 		return
 	}
@@ -333,23 +350,35 @@ func (s *Server) handleIngestMulti(w http.ResponseWriter, r *http.Request) {
 		finish = func() []core.Summary { return asSummaries(st.Close()) }
 		stats = st.Stats
 	}
+	sp := trace.SpanFromContext(r.Context())
+	scan := sp.StartChild("ingest.scan")
 	pairs, err := scanMultiPairs(http.MaxBytesReader(w, r.Body, maxIngestBody), p.format, p.index, push)
+	scan.SetAttr("format", p.format)
+	scan.SetInt("pairs", pairs)
+	scan.Finish()
 	// The samplers hold goroutines under a parallel config; always drain,
 	// then fold the pipeline's final counters into the server totals.
+	drain := sp.StartChild("engine.drain")
 	sums := finish()
-	s.engine.record(stats())
+	st := stats()
+	recordEngineStats(drain, st)
+	s.engine.record(st)
+	drain.Finish()
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	put := sp.StartChild("registry.put")
 	sizes := make([]int, len(sums))
 	for i, sum := range sums {
-		if err := s.reg.Put(p.dataset, sum); err != nil {
+		if err := s.reg.PutCtx(r.Context(), p.dataset, sum); err != nil {
+			put.Finish()
 			writeError(w, err)
 			return
 		}
 		sizes[i] = sum.Size()
 	}
+	put.Finish()
 	writeJSON(w, http.StatusCreated, MultiPostResult{
 		Dataset:   p.dataset,
 		Kind:      p.kind,
@@ -357,6 +386,19 @@ func (s *Server) handleIngestMulti(w http.ResponseWriter, r *http.Request) {
 		Sizes:     sizes,
 		Pairs:     pairs,
 	})
+}
+
+// recordEngineStats attaches one pipeline's final counters to its drain
+// span — the same Stats() seam the metrics use, read once after Close.
+func recordEngineStats(sp *trace.Span, st engine.Stats) {
+	if sp == nil {
+		return
+	}
+	sp.SetInt("pairs", int64(st.Pairs))
+	sp.SetInt("batches", int64(st.Batches))
+	sp.SetInt("stalls", int64(st.Stalls))
+	sp.SetInt("rejected", int64(st.Rejected))
+	sp.SetInt("shards", int64(st.Shards))
 }
 
 // asSummaries widens a concrete summary slice to the Summary interface.

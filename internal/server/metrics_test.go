@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/sampling"
 	"repro/internal/server"
 	"repro/pkg/client"
@@ -437,5 +438,60 @@ func BenchmarkServerQueryInstrumented(b *testing.B) {
 	baseDur := run(base, b.N)
 	if baseDur > 0 {
 		b.ReportMetric(float64(instDur)/float64(baseDur), "overhead-ratio")
+	}
+}
+
+// BenchmarkServerQueryTraced measures the DISABLED tracer's cost on the
+// query path: the same observed server once with a constructed-but-off
+// tracer and once without one, in the same process. The middleware's
+// fast path is one atomic load and every span method no-ops on nil, so
+// overhead-ratio must hold ≈1 (CI gates the absolute ns/op and the
+// allocation count against the committed baseline — disabled tracing
+// adds zero allocations, so any increase is a regression).
+func BenchmarkServerQueryTraced(b *testing.B) {
+	sites := fixture(10000)
+	summ := core.NewSummarizer(testSalt)
+	ctx := context.Background()
+	setup := func(opts ...server.Option) (*client.Client, func()) {
+		base := []server.Option{server.WithObserver(server.NewObserver(obs.NewRegistry()))}
+		ts := httptest.NewServer(server.New(server.NewRegistry(), engine.Config{}, append(base, opts...)...))
+		c := client.New(ts.URL, ts.Client())
+		for i := 0; i < 2; i++ {
+			tau := sampling.TauForExpectedSize(sites[i], 1000)
+			if _, err := c.PostSummary(ctx, "flows", summ.SummarizePPS(i, sites[i], tau)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return c, ts.Close
+	}
+	tr := trace.New(0)
+	tr.SetEnabled(false)
+	traced, closeTraced := setup(server.WithTracer(tr))
+	defer closeTraced()
+	bare, closeBare := setup()
+	defer closeBare()
+
+	run := func(c *client.Client, n int) time.Duration {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := c.MaxDominance(ctx, "flows", 0, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	run(traced, 5) // warm both paths before timing
+	run(bare, 5)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	tracedDur := run(traced, b.N)
+	b.StopTimer()
+	bareDur := run(bare, b.N)
+	if bareDur > 0 {
+		b.ReportMetric(float64(tracedDur)/float64(bareDur), "overhead-ratio")
+	}
+	if len(tr.Traces()) != 0 {
+		b.Fatal("disabled tracer recorded a trace")
 	}
 }

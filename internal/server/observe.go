@@ -9,8 +9,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"math"
+
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // This file is the server's observability layer: an Observer wraps the
@@ -28,8 +32,8 @@ import (
 // mint unbounded series.
 func endpointLabel(path string) string {
 	switch path {
-	case "/healthz", "/metrics", "/v1/datasets", "/v1/summaries",
-		"/v1/ingest", "/v1/ingest/multi", "/v1/query":
+	case "/healthz", "/metrics", "/debug/traces", "/v1/datasets",
+		"/v1/summaries", "/v1/ingest", "/v1/ingest/multi", "/v1/query":
 		return path
 	}
 	return "other"
@@ -38,8 +42,8 @@ func endpointLabel(path string) string {
 // instrumentedEndpoints is every endpointLabel value, the construction
 // vocabulary for per-endpoint series.
 var instrumentedEndpoints = []string{
-	"/healthz", "/metrics", "/v1/datasets", "/v1/summaries",
-	"/v1/ingest", "/v1/ingest/multi", "/v1/query", "other",
+	"/healthz", "/metrics", "/debug/traces", "/v1/datasets",
+	"/v1/summaries", "/v1/ingest", "/v1/ingest/multi", "/v1/query", "other",
 }
 
 // statusClasses are the response status classes, indexed by code/100-1.
@@ -69,6 +73,9 @@ type Observer struct {
 	endpoints map[string]*endpointMetrics
 	idBase    string
 	idSeq     atomic.Uint64
+	// tracer is the bound server's span recorder (nil or disabled =
+	// tracing off; the middleware pays one atomic load either way).
+	tracer *trace.Tracer
 }
 
 // ObserverOption configures an Observer at construction.
@@ -160,6 +167,94 @@ func (o *Observer) bindServer(s *Server) {
 	reg.GaugeFunc("summaryd_datasets",
 		"Registered datasets.", nil,
 		func() float64 { return float64(s.reg.Count()) })
+	o.tracer = s.tracer
+	bindSketchGauges(reg, s.reg)
+}
+
+// bindSketchGauges registers the per-summary sketch-health families. They
+// are dynamic series (obs.GaugeSetFunc): each scrape walks the registry's
+// current summaries — summaries are compact by design, so the walk is
+// cheap — and emits one sample per (dataset, instance). Everything is
+// derived from stored summary state; the sampling hot loops stay
+// uninstrumented.
+func bindSketchGauges(reg *obs.Registry, sr *Registry) {
+	reg.GaugeSetFunc("summaryd_sketch_tau",
+		"Per-summary inclusion threshold: PPS tau, bottom-k rank threshold (+Inf when never thresholded), VarOpt tau.",
+		func(emit func(labels obs.Labels, v float64)) {
+			_ = sr.Dump(func(ds string, sum core.Summary) error {
+				if tau, ok := summaryTau(sum); ok {
+					emit(summaryLabels(ds, sum), tau)
+				}
+				return nil
+			})
+		})
+	reg.GaugeSetFunc("summaryd_sketch_fill_ratio",
+		"Estimated fraction of the instance's keys the summary retains: size over the estimated key count for bottom-k (1 when exact), the sampling probability for set summaries.",
+		func(emit func(labels obs.Labels, v float64)) {
+			_ = sr.Dump(func(ds string, sum core.Summary) error {
+				if fill, ok := summaryFillRatio(sum); ok {
+					emit(summaryLabels(ds, sum), fill)
+				}
+				return nil
+			})
+		})
+	reg.GaugeSetFunc("summaryd_sketch_fast_reject_ratio",
+		"Estimated fraction of arrivals a thresholded bottom-k summary turns away on its fast-reject path (1 - fill ratio; 0 while filling).",
+		func(emit func(labels obs.Labels, v float64)) {
+			_ = sr.Dump(func(ds string, sum core.Summary) error {
+				b, ok := sum.(core.BottomKReader)
+				if !ok {
+					return nil
+				}
+				fill, ok := summaryFillRatio(sum)
+				if !ok || math.IsInf(b.RankTau(), 1) {
+					emit(summaryLabels(ds, sum), 0)
+					return nil
+				}
+				emit(summaryLabels(ds, sum), math.Max(0, 1-fill))
+				return nil
+			})
+		})
+}
+
+// summaryLabels is the shared label set of the sketch gauges.
+func summaryLabels(ds string, sum core.Summary) obs.Labels {
+	return obs.Labels{"dataset": ds, "instance": strconv.Itoa(sum.InstanceID())}
+}
+
+// summaryTau extracts the inclusion threshold of a weighted summary
+// (hydrated or view); set summaries have none.
+func summaryTau(sum core.Summary) (float64, bool) {
+	switch s := sum.(type) {
+	case core.PPSReader:
+		return s.PPSTau(), true
+	case core.BottomKReader:
+		return s.RankTau(), true
+	case core.VarOptReader:
+		return s.VarOptTau(), true
+	}
+	return 0, false
+}
+
+// summaryFillRatio estimates how much of the underlying instance the
+// summary holds: for bottom-k, size over the rank-conditioning distinct
+// estimate (exactly 1 for a never-thresholded summary); for set
+// summaries, the sampling probability (the expected retained fraction).
+func summaryFillRatio(sum core.Summary) (float64, bool) {
+	switch s := sum.(type) {
+	case core.BottomKReader:
+		if math.IsInf(s.RankTau(), 1) {
+			return 1, true
+		}
+		est := core.BottomKDistinct(s)
+		if !(est > 0) {
+			return 0, false
+		}
+		return math.Min(1, float64(s.Size())/est), true
+	case core.SetReader:
+		return s.SetP(), true
+	}
+	return 0, false
 }
 
 // intercept is the request middleware: measure, tag, serve, log.
@@ -170,6 +265,21 @@ func (o *Observer) intercept(next http.Handler, w http.ResponseWriter, r *http.R
 	// The ID goes out before the handler runs so even a panic-500 or a
 	// streamed response carries it; the log line below closes the loop.
 	w.Header().Set("X-Request-ID", rid)
+
+	// Root span: honor an inbound traceparent (the client's span becomes
+	// the remote parent) and emit this request's own next to the request
+	// ID, so a caller can stitch its half of the trace to ours. The whole
+	// block is skipped behind one atomic load when tracing is off — no
+	// header parse, no span, no context frame, no allocation.
+	var sp *trace.Span
+	if o.tracer.Enabled() {
+		remote, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
+		if sp = o.tracer.StartSpan(r.Method+" "+ep, remote); sp != nil {
+			sp.SetAttr("request_id", rid)
+			w.Header().Set("traceparent", sp.Context().Traceparent())
+			r = r.WithContext(trace.ContextWithSpan(r.Context(), sp))
+		}
+	}
 
 	body := &countingReader{rc: r.Body}
 	r.Body = body
@@ -190,6 +300,13 @@ func (o *Observer) intercept(next http.Handler, w http.ResponseWriter, r *http.R
 	m.reqBytes.Add(uint64(body.n))
 	m.respBytes.Add(uint64(sw.n))
 
+	// Close the root span after the response is fully measured; its
+	// Finish publishes the trace to the ring /debug/traces serves.
+	sp.SetInt("status", int64(status))
+	sp.SetInt("bytes_in", body.n)
+	sp.SetInt("bytes_out", sw.n)
+	sp.Finish()
+
 	if o.log == nil {
 		return
 	}
@@ -201,7 +318,7 @@ func (o *Observer) intercept(next http.Handler, w http.ResponseWriter, r *http.R
 	if !o.log.Enabled(r.Context(), lvl) {
 		return
 	}
-	o.log.LogAttrs(r.Context(), lvl, "request",
+	attrs := [10]slog.Attr{
 		slog.String("request_id", rid),
 		slog.String("method", r.Method),
 		slog.String("path", r.URL.Path),
@@ -211,7 +328,15 @@ func (o *Observer) intercept(next http.Handler, w http.ResponseWriter, r *http.R
 		slog.Int64("bytes_in", body.n),
 		slog.Int64("bytes_out", sw.n),
 		slog.Bool("slow", slow),
-	)
+	}
+	n := 9
+	if sp != nil {
+		// The trace ID is the join key between this line — slow-request
+		// warnings especially — and the matching /debug/traces record.
+		attrs[n] = slog.String("trace_id", sp.TraceID())
+		n++
+	}
+	o.log.LogAttrs(r.Context(), lvl, "request", attrs[:n]...)
 }
 
 // requestID returns the request's correlation ID: a sane inbound

@@ -13,6 +13,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -20,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs/trace"
 	"repro/internal/xhash"
 	"repro/pkg/api"
 )
@@ -90,6 +92,25 @@ type Persister interface {
 	Snapshot(dump func(emit func(dataset string, s core.Summary) error) error, commit func(ok bool), syncWait bool) (wait func() error, err error)
 }
 
+// TracedPersister is the optional tracing extension of Persister
+// (internal/store implements it). When the registry's caller carries a
+// request span, Append and Snapshot receive it so the store can hang its
+// own spans (WAL append, fsync, rotation) under the request and stamp
+// background snapshots with the trace that cut them. Persisters without
+// the extension — test fakes, simple implementations — keep working
+// through the plain interface.
+type TracedPersister interface {
+	Persister
+	// AppendTraced is Append with the registering request's span (nil
+	// when the registration is untraced).
+	AppendTraced(parent *trace.Span, dataset string, s core.Summary) (snapshotDue bool, err error)
+	// SnapshotTraced is Snapshot with the span of the operation that cut
+	// it (nil for untraced or scheduled cuts): the snapshot outlives the
+	// request, so the store records it as its own trace carrying the
+	// trigger's trace ID rather than as a child span.
+	SnapshotTraced(trigger *trace.Span, dump func(emit func(dataset string, s core.Summary) error) error, commit func(ok bool), syncWait bool) (wait func() error, err error)
+}
+
 type datasetEntry struct {
 	kind       string
 	seeder     xhash.Seeder
@@ -119,6 +140,14 @@ func (r *Registry) SetPersister(p Persister) {
 // mismatch) when the summary's salt, coordination mode, or kind differ
 // from the dataset's. Re-posting an instance replaces its summary.
 func (r *Registry) Put(dataset string, s core.Summary) error {
+	return r.PutCtx(context.Background(), dataset, s)
+}
+
+// PutCtx is Put carrying the caller's context: a request span in the
+// context threads through to a TracedPersister, so the durable append
+// (and any snapshot it triggers) shows up under the request's trace.
+func (r *Registry) PutCtx(ctx context.Context, dataset string, s core.Summary) error {
+	sp := trace.SpanFromContext(ctx)
 	if dataset == "" {
 		return fmt.Errorf("server: empty dataset name")
 	}
@@ -155,7 +184,7 @@ func (r *Registry) Put(dataset string, s core.Summary) error {
 	prev, hadPrev := e.byInstance[id]
 	e.byInstance[id] = s
 	if r.persister != nil {
-		due, err := r.persister.Append(dataset, s)
+		due, err := r.appendPersister(sp, dataset, s)
 		if err != nil {
 			// Roll back: the registry must never answer queries from state
 			// the log refused — a restart would silently forget it.
@@ -180,12 +209,26 @@ func (r *Registry) Put(dataset string, s core.Summary) error {
 			// surfaces the error in its status and backs off a full
 			// interval before the next automatic attempt.
 			dump, commit := r.dumpCutLocked()
-			_, _ = r.persister.Snapshot(dump, commit, false)
+			if tp, ok := r.persister.(TracedPersister); ok {
+				_, _ = tp.SnapshotTraced(sp, dump, commit, false)
+			} else {
+				_, _ = r.persister.Snapshot(dump, commit, false)
+			}
 		}
 	} else {
 		e.dirtyEpoch = r.epoch
 	}
 	return nil
+}
+
+// appendPersister routes one accepted registration to the persister,
+// through the traced entry point when both a span and a TracedPersister
+// are present.
+func (r *Registry) appendPersister(sp *trace.Span, dataset string, s core.Summary) (bool, error) {
+	if tp, ok := r.persister.(TracedPersister); ok {
+		return tp.AppendTraced(sp, dataset, s)
+	}
+	return r.persister.Append(dataset, s)
 }
 
 // Snapshot takes an incremental cut of the registry and writes it

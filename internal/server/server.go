@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/obs/trace"
 	"repro/pkg/api"
 )
 
@@ -41,6 +42,7 @@ type Server struct {
 	storeStatus func() StoreStatus
 	obs         *Observer
 	metricsOn   bool
+	tracer      *trace.Tracer
 	// wireVersions caches core.SupportedWireVersions() — the registered
 	// codec set is fixed after init, and /healthz is probed constantly;
 	// rebuilding the slice per probe was pure allocation.
@@ -93,6 +95,19 @@ func WithMetricsEndpoint() Option {
 	return func(s *Server) { s.metricsOn = true }
 }
 
+// WithTracer attaches a span recorder: the observer's middleware opens a
+// root span per request (honoring an inbound traceparent header and
+// emitting the response's next to X-Request-ID), handlers and the store
+// hang child spans off it through the request context, and the
+// recorder's ring of recent completed traces is served at
+// GET /debug/traces. It requires WithObserver (New panics otherwise) —
+// the middleware is where the root span lives. The tracer may be
+// disabled at runtime (trace.Tracer.SetEnabled); a disabled tracer costs
+// one atomic load per request and zero allocations.
+func WithTracer(t *trace.Tracer) Option {
+	return func(s *Server) { s.tracer = t }
+}
+
 // New builds a server around a registry. The engine config selects the
 // summarization strategy of the ingest path (zero value = sequential; see
 // engine.Config for the sharded variants). New panics on an invalid
@@ -138,6 +153,14 @@ func New(reg *Registry, cfg engine.Config, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/ingest/multi", s.handleIngestMulti)
 	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	if s.tracer != nil {
+		if s.obs == nil {
+			panic("server: WithTracer requires WithObserver")
+		}
+		s.mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, s.tracer.Traces())
+		})
+	}
 	if s.obs != nil {
 		s.obs.bindServer(s)
 	}
@@ -273,7 +296,7 @@ func (s *Server) handlePostSummary(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("server: trailing data after summary (one summary per post)"))
 		return
 	}
-	if err := s.reg.Put(ds, sum); err != nil {
+	if err := s.reg.PutCtx(r.Context(), ds, sum); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -387,8 +410,39 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for i, sum := range sums {
 		got[i] = sum.InstanceID()
 	}
-	switch query := q.Get("q"); query {
+	// The explain report and the per-summary scan spans share one
+	// inspection pass: which representation each consulted summary answers
+	// through (zero-copy view vs hydrated maps) and how much it holds.
+	var report *api.Explain
+	if q.Get("explain") == "1" {
+		report = explainFor(sums)
+	}
+	query := q.Get("q")
+	// Branch on the span before naming the child: the untraced path must
+	// not pay the "query."+query concatenation.
+	var qsp *trace.Span
+	if sp := trace.SpanFromContext(r.Context()); sp != nil {
+		qsp = sp.StartChild("query." + query)
+		recordSummaryScans(qsp, sums)
+	}
+	defer qsp.Finish()
+	switch query {
 	case "distinct":
+		// A single bottom-k instance answers its own distinct count with
+		// the rank-conditioning estimator (exact when never thresholded);
+		// the multi-instance form needs the set summaries' shared seeds.
+		if len(sums) == 1 {
+			if b, ok := sums[0].(core.BottomKReader); ok {
+				est := core.BottomKDistinct(b)
+				res := DistinctResult{
+					Dataset: ds, Instances: got,
+					HT: est, KeysUsed: b.Size(), Explain: report,
+				}
+				res.Accuracy = accuracyFor(core.BottomKDistinctStdErr(b, est))
+				writeJSON(w, http.StatusOK, res)
+				return
+			}
+		}
 		sets, err := asKind[core.SetReader](sums, "set", "distinct")
 		if err != nil {
 			writeError(w, err)
@@ -399,10 +453,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, DistinctResult{
+		res := DistinctResult{
 			Dataset: ds, Instances: got,
-			HT: est.HT, L: est.L, KeysUsed: est.KeysUsed,
-		})
+			HT: est.HT, L: est.L, KeysUsed: est.KeysUsed, Explain: report,
+		}
+		res.Accuracy = accuracyFor(core.DistinctHTStdErr(sets, est.HT))
+		writeJSON(w, http.StatusOK, res)
 	case "maxdominance":
 		pps, err := asKind[core.PPSReader](sums, "pps", "maxdominance")
 		if err != nil {
@@ -420,7 +476,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, DominanceResult{
 			Dataset: ds, Instances: got,
-			HT: est.HT, L: est.L, KeysUsed: est.KeysUsed,
+			HT: est.HT, L: est.L, KeysUsed: est.KeysUsed, Explain: report,
 		})
 	case "quantile":
 		pps, err := asKind[core.PPSReader](sums, "pps", "quantile")
@@ -447,7 +503,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, QuantileResult{
 			Dataset: ds, Instances: got, Key: key, Index: l,
-			HT: est.HT, Sampled: est.Sampled,
+			HT: est.HT, Sampled: est.Sampled, Explain: report,
 		})
 	case "sum":
 		if len(sums) != 1 {
@@ -469,11 +525,64 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, fmt.Errorf("server: sum not supported for kind %s", sums[0].Kind()))
 			return
 		}
-		writeJSON(w, http.StatusOK, SumResult{Dataset: ds, Instance: got[0], Sum: total})
+		res := SumResult{Dataset: ds, Instance: got[0], Sum: total, Explain: report}
+		res.Accuracy = accuracyFor(core.SumStdErr(sums[0], total))
+		writeJSON(w, http.StatusOK, res)
 	case "":
 		writeError(w, fmt.Errorf("server: missing q parameter (distinct, maxdominance, quantile, sum)"))
 	default:
 		writeError(w, fmt.Errorf("server: unknown query %q (distinct, maxdominance, quantile, sum)", query))
+	}
+}
+
+// accuracyFor renders a standard-error bound as the optional accuracy
+// block, nil when no bound is known for the summary kind.
+func accuracyFor(stderr float64, ok bool) *api.Accuracy {
+	if !ok {
+		return nil
+	}
+	return &api.Accuracy{StdErr: stderr, CI95: core.CI95Z * stderr}
+}
+
+// explainFor builds the explain=1 execution report: one entry per
+// consulted summary with its representation (zero-copy view vs hydrated)
+// and size, plus the scan-work totals.
+func explainFor(sums []core.Summary) *api.Explain {
+	out := &api.Explain{Summaries: make([]api.ExplainSummary, len(sums))}
+	for i, sum := range sums {
+		path, bytes := core.SummaryRepr(sum)
+		es := api.ExplainSummary{
+			Instance: sum.InstanceID(),
+			Kind:     sum.Kind(),
+			Path:     path,
+			Entries:  sum.Size(),
+			Bytes:    bytes,
+		}
+		out.Summaries[i] = es
+		out.EntriesScanned += es.Entries
+		out.BytesTouched += bytes
+	}
+	return out
+}
+
+// recordSummaryScans annotates a query span with the per-summary scan
+// shape: instance, representation, entries, and view bytes. Attribute
+// volume is capped so a wide instances= list cannot bloat the trace ring.
+func recordSummaryScans(sp *trace.Span, sums []core.Summary) {
+	if sp == nil {
+		return
+	}
+	const maxRecorded = 8
+	sp.SetInt("summaries", int64(len(sums)))
+	for i, sum := range sums {
+		if i == maxRecorded {
+			sp.SetInt("summaries_unrecorded", int64(len(sums)-maxRecorded))
+			break
+		}
+		path, bytes := core.SummaryRepr(sum)
+		sp.SetAttr("s"+strconv.Itoa(i),
+			fmt.Sprintf("instance=%d kind=%s path=%s entries=%d bytes=%d",
+				sum.InstanceID(), sum.Kind(), path, sum.Size(), bytes))
 	}
 }
 

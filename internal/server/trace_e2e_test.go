@@ -1,0 +1,343 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/sampling"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/pkg/api"
+	"repro/pkg/client"
+)
+
+// tracedServer builds an observed, traced, store-backed server: the full
+// stack a `summaryd -trace -data-dir` process runs.
+func tracedServer(t *testing.T, tr *trace.Tracer) *httptest.Server {
+	t.Helper()
+	reg := server.NewRegistry()
+	st, err := store.Open(t.TempDir(), store.Options{Tracer: tr}, reg.Put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	reg.SetPersister(st)
+	ts := httptest.NewServer(server.New(reg, engine.Config{},
+		server.WithObserver(server.NewObserver(obs.NewRegistry())),
+		server.WithTracer(tr)))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// spanID extracts the span-id field of a span's traceparent rendering.
+func spanID(s *trace.Span) string {
+	return strings.Split(s.Context().Traceparent(), "-")[2]
+}
+
+// findRecord returns the ring record for a trace ID, or nil.
+func findRecord(recs []trace.Record, traceID string) *trace.Record {
+	for i := range recs {
+		if recs[i].TraceID == traceID {
+			return &recs[i]
+		}
+	}
+	return nil
+}
+
+// findServerRecord returns the server-side record of a trace — the one
+// that continued a remote parent. The client's own root span publishes a
+// sibling record under the same trace ID when client and server share a
+// process (and therefore a tracer), as these tests do.
+func findServerRecord(recs []trace.Record, traceID string) *trace.Record {
+	for i := range recs {
+		if recs[i].TraceID == traceID && recs[i].RemoteParent {
+			return &recs[i]
+		}
+	}
+	return nil
+}
+
+// TestTraceEndToEnd drives one posted summary and one raw ingest from a
+// client whose context carries a root span, and asserts the server-side
+// records show the full parentage: the request span continues the
+// client's trace (remote parent = the client's span), and the store /
+// engine layers hang off the request span.
+func TestTraceEndToEnd(t *testing.T) {
+	tr := trace.New(8)
+	ts := tracedServer(t, tr)
+	c := client.New(ts.URL, ts.Client())
+	sites := fixture(800)
+	summ := core.NewSummarizer(testSalt)
+
+	// Act 1: a posted summary. Client root → server request → WAL append.
+	root := tr.StartSpan("test.post", trace.SpanContext{})
+	ctx := trace.ContextWithSpan(context.Background(), root)
+	tau := sampling.TauForExpectedSize(sites[0], 100)
+	if _, err := c.PostSummary(ctx, "flows", summ.SummarizePPS(0, sites[0], tau)); err != nil {
+		t.Fatal(err)
+	}
+	root.Finish()
+
+	rec := findServerRecord(tr.Traces(), root.TraceID())
+	if rec == nil {
+		t.Fatalf("no server record joined trace %s", root.TraceID())
+	}
+	reqSpan := rec.Spans[0]
+	if reqSpan.Name != "POST /v1/summaries" {
+		t.Errorf("root span name %q, want POST /v1/summaries", reqSpan.Name)
+	}
+	if reqSpan.ParentID != spanID(root) {
+		t.Errorf("request span parent %q, want the client span %q", reqSpan.ParentID, spanID(root))
+	}
+	var sawAppend bool
+	for _, sp := range rec.Spans {
+		if sp.Name != "store.append" {
+			continue
+		}
+		sawAppend = true
+		if sp.ParentID != reqSpan.SpanID {
+			t.Errorf("store.append parent %q, want the request span %q", sp.ParentID, reqSpan.SpanID)
+		}
+	}
+	if !sawAppend {
+		t.Errorf("no store.append span in %+v", rec.Spans)
+	}
+
+	// Act 2: a raw ingest records the engine stages under the request.
+	root2 := tr.StartSpan("test.ingest", trace.SpanContext{})
+	ctx2 := trace.ContextWithSpan(context.Background(), root2)
+	var body bytes.Buffer
+	for _, k := range sites[1].Keys() {
+		fmt.Fprintf(&body, "%d,%g\n", uint64(k), sites[1][k])
+	}
+	_, err := c.Ingest(ctx2, client.IngestOptions{
+		Dataset: "flows", Instance: 1, Kind: "pps", Format: "csv",
+		Salt: testSalt, SaltSet: true, Tau: tau,
+	}, strings.NewReader("key,value\n"+body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root2.Finish()
+
+	rec2 := findServerRecord(tr.Traces(), root2.TraceID())
+	if rec2 == nil {
+		t.Fatalf("no server record joined ingest trace %s", root2.TraceID())
+	}
+	want := map[string]bool{"ingest.scan": false, "engine.drain": false, "registry.put": false, "store.append": false}
+	for _, sp := range rec2.Spans {
+		if _, ok := want[sp.Name]; ok {
+			want[sp.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("ingest trace missing a %s span: %+v", name, rec2.Spans)
+		}
+	}
+
+	// The ring is served on /debug/traces; both traces come back as JSON.
+	recs := getJSON[[]trace.Record](t, ts.URL+"/debug/traces")
+	if findServerRecord(recs, root.TraceID()) == nil || findServerRecord(recs, root2.TraceID()) == nil {
+		t.Errorf("/debug/traces serves %d records but not both test traces", len(recs))
+	}
+}
+
+// TestTraceResponseHeader: a traced server emits a traceparent response
+// header carrying the request's trace ID — fresh when the caller sent
+// none, continuing the caller's when it did.
+func TestTraceResponseHeader(t *testing.T) {
+	tr := trace.New(4)
+	ts := tracedServer(t, tr)
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	fresh := resp.Header.Get("traceparent")
+	if _, ok := trace.ParseTraceparent(fresh); !ok {
+		t.Fatalf("fresh traceparent response header %q does not parse", fresh)
+	}
+
+	const inbound = "00-11111111111111111111111111111111-2222222222222222-01"
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("traceparent", inbound)
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	got := resp.Header.Get("traceparent")
+	if !strings.HasPrefix(got, "00-11111111111111111111111111111111-") {
+		t.Errorf("traceparent response %q does not continue the inbound trace", got)
+	}
+	if strings.Contains(got, "2222222222222222") {
+		t.Errorf("traceparent response %q reuses the caller's span ID", got)
+	}
+	rec := findRecord(tr.Traces(), "11111111111111111111111111111111")
+	if rec == nil {
+		t.Fatal("inbound trace ID not recorded")
+	}
+	if !rec.RemoteParent || rec.Spans[0].ParentID != "2222222222222222" {
+		t.Errorf("record did not adopt the remote parent: %+v", rec.Spans[0])
+	}
+}
+
+// TestTraceRingEviction: the ring keeps the newest N completed traces,
+// newest first, evicting strictly in completion order.
+func TestTraceRingEviction(t *testing.T) {
+	tr := trace.New(2)
+	ts := tracedServer(t, tr)
+
+	ids := make([]string, 3)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%032d", i+1)
+		req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+		req.Header.Set("traceparent", "00-"+ids[i]+"-aaaaaaaaaaaaaaaa-01")
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	recs := getJSON[[]trace.Record](t, ts.URL+"/debug/traces")
+	// The /debug/traces request itself may have displaced a slot by the
+	// time it is answered; the ring held [2,3] when request 3 completed,
+	// so trace 1 must be gone and order must be newest-first.
+	if len(recs) != 2 {
+		t.Fatalf("ring of 2 serves %d records", len(recs))
+	}
+	if findRecord(recs, ids[0]) != nil {
+		t.Error("oldest trace survived a full ring")
+	}
+	if recs[0].TraceID != ids[2] || recs[1].TraceID != ids[1] {
+		t.Errorf("ring order [%s %s], want newest-first [%s %s]",
+			recs[0].TraceID, recs[1].TraceID, ids[2], ids[1])
+	}
+}
+
+// TestWithTracerRequiresObserver pins the construction contract: the
+// tracer records through the observer's middleware, so it cannot stand
+// alone.
+func TestWithTracerRequiresObserver(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithTracer without WithObserver did not panic")
+		}
+	}()
+	server.New(server.NewRegistry(), engine.Config{}, server.WithTracer(trace.New(0)))
+}
+
+// TestQueryExplainAndAccuracy: explain=1 attaches the consulted-summary
+// report, every estimate that admits an error bound carries stderr and
+// ci95 = 1.96·stderr, and the bottom-k distinct bound is consistent with
+// the k-dependent CV bound est/√(k−2) from the paper.
+func TestQueryExplainAndAccuracy(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.NewRegistry(), engine.Config{}))
+	defer ts.Close()
+	sites := fixture(1200)
+	summ := core.NewSummarizer(testSalt)
+
+	bk := summ.SummarizeBottomK(0, sites[0], 100, sampling.PPS{})
+	postV2(t, ts.URL, "ranked", bk)
+
+	res := getJSON[api.DistinctResult](t, ts.URL+"/v1/query?dataset=ranked&q=distinct&instances=0&explain=1")
+	if res.Explain == nil {
+		t.Fatal("explain=1 returned no explain block")
+	}
+	if len(res.Explain.Summaries) != 1 {
+		t.Fatalf("explain reports %d summaries, want 1", len(res.Explain.Summaries))
+	}
+	es := res.Explain.Summaries[0]
+	if es.Kind != "bottomk" || es.Path != "view" || es.Entries != bk.Len() || es.Bytes <= 0 {
+		t.Errorf("explain summary %+v, want a %d-entry bottomk view with wire bytes", es, bk.Len())
+	}
+	if res.Explain.EntriesScanned != bk.Len() {
+		t.Errorf("entries_scanned = %d, want %d", res.Explain.EntriesScanned, bk.Len())
+	}
+	if res.Accuracy == nil {
+		t.Fatal("bottom-k distinct returned no accuracy block")
+	}
+	if res.Accuracy.StdErr <= 0 {
+		t.Errorf("thresholded bottom-k distinct stderr = %v, want > 0", res.Accuracy.StdErr)
+	}
+	if got, want := res.Accuracy.CI95, core.CI95Z*res.Accuracy.StdErr; math.Abs(got-want) > 1e-12*want {
+		t.Errorf("ci95 = %v, want 1.96*stderr = %v", got, want)
+	}
+	bound := res.HT / math.Sqrt(float64(res.KeysUsed)-2)
+	if res.Accuracy.StdErr > bound*(1+1e-9) {
+		t.Errorf("stderr %v exceeds the k-dependent CV bound %v", res.Accuracy.StdErr, bound)
+	}
+
+	// Without explain=1 the report is omitted; accuracy still answers.
+	bare := getJSON[api.DistinctResult](t, ts.URL+"/v1/query?dataset=ranked&q=distinct&instances=0")
+	if bare.Explain != nil {
+		t.Error("explain block present without explain=1")
+	}
+	if bare.Accuracy == nil {
+		t.Error("accuracy block missing without explain=1")
+	}
+
+	// PPS subset sum: stderr from the Horvitz–Thompson variance estimator.
+	tau := sampling.TauForExpectedSize(sites[1], 150)
+	postV2(t, ts.URL, "flows", summ.SummarizePPS(1, sites[1], tau))
+	sum := getJSON[api.SumResult](t, ts.URL+"/v1/query?dataset=flows&q=sum&instances=1&explain=1")
+	if sum.Accuracy == nil || sum.Accuracy.StdErr <= 0 {
+		t.Fatalf("thresholded pps sum accuracy = %+v, want stderr > 0", sum.Accuracy)
+	}
+	if sum.Explain == nil || len(sum.Explain.Summaries) != 1 {
+		t.Errorf("sum explain = %+v, want 1 summary", sum.Explain)
+	}
+}
+
+// TestSketchHealthGauges: posting summaries surfaces the per-dataset
+// sketch-health gauge families on /metrics — tau, fill ratio, and the
+// bottom-k fast-reject ratio estimate.
+func TestSketchHealthGauges(t *testing.T) {
+	o := server.NewObserver(obs.NewRegistry())
+	ts := httptest.NewServer(server.New(server.NewRegistry(), engine.Config{},
+		server.WithObserver(o), server.WithMetricsEndpoint()))
+	defer ts.Close()
+	sites := fixture(1200)
+	summ := core.NewSummarizer(testSalt)
+
+	tau := sampling.TauForExpectedSize(sites[0], 150)
+	postV2(t, ts.URL, "flows", summ.SummarizePPS(0, sites[0], tau))
+	postV2(t, ts.URL, "ranked", summ.SummarizeBottomK(0, sites[1], 100, sampling.PPS{}))
+	postV2(t, ts.URL, "presence", summ.SummarizeSet(0, members(sites[2]), 0.3))
+
+	values, types := scrapeMetrics(t, ts)
+	if got := values[`summaryd_sketch_tau{dataset="flows",instance="0"}`]; got != tau {
+		t.Errorf("pps tau gauge = %v, want %v", got, tau)
+	}
+	if got := values[`summaryd_sketch_fill_ratio{dataset="presence",instance="0"}`]; got != 0.3 {
+		t.Errorf("set fill gauge = %v, want sampling p 0.3", got)
+	}
+	fill, ok := values[`summaryd_sketch_fill_ratio{dataset="ranked",instance="0"}`]
+	if !ok || fill <= 0 || fill > 1 {
+		t.Errorf("bottom-k fill gauge = %v (present %v), want in (0,1]", fill, ok)
+	}
+	rej, ok := values[`summaryd_sketch_fast_reject_ratio{dataset="ranked",instance="0"}`]
+	if !ok || rej < 0 || rej >= 1 {
+		t.Errorf("fast-reject gauge = %v (present %v), want in [0,1)", rej, ok)
+	}
+	if math.Abs(rej-math.Max(0, 1-fill)) > 1e-12 {
+		t.Errorf("fast-reject %v != 1-fill %v", rej, 1-fill)
+	}
+	for _, fam := range []string{"summaryd_sketch_tau", "summaryd_sketch_fill_ratio", "summaryd_sketch_fast_reject_ratio"} {
+		if types[fam] != "gauge" {
+			t.Errorf("family %s declared %q, want gauge", fam, types[fam])
+		}
+	}
+}

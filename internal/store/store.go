@@ -38,8 +38,10 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -48,6 +50,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/pkg/api"
 )
 
@@ -83,6 +86,16 @@ type Options struct {
 	// A registry serves one Open: the series register once, so a reopened
 	// store needs a fresh registry.
 	Metrics *obs.Registry
+	// Tracer, when set, records store spans: WAL append/fsync/rotation
+	// under the registering request's span (through AppendTraced), and one
+	// self-rooted trace per background snapshot carrying the trace ID of
+	// the cut that triggered it. Nil (or a disabled tracer) costs nothing.
+	Tracer *trace.Tracer
+	// Logger, when set, receives the background-snapshot lines: every
+	// completed or failed snapshot logs its sequence number and the
+	// triggering cut's trace ID, so a snapshot_error surfaced in /healthz
+	// is attributable to a specific run. Nil disables the logging.
+	Logger *slog.Logger
 }
 
 // storeMetrics holds the store's pre-constructed instruments. Every field
@@ -160,6 +173,13 @@ type snapJob struct {
 	dump   func(emit func(dataset string, s core.Summary) error) error
 	commit func(ok bool)
 	done   chan error
+	// trigger is the trace ID of the operation that cut this snapshot
+	// ("" for untraced cuts); seq, entries, and dur are filled in by
+	// writeSnapshot for the worker's log line.
+	trigger string
+	seq     int64
+	entries int64
+	dur     time.Duration
 }
 
 // Store is an open durability directory: a live WAL segment accepting
@@ -591,6 +611,17 @@ func (s *Store) quarantine(name string) error {
 // registrations) should then call Snapshot with a consistent cut. Append
 // implements half of server.Persister.
 func (s *Store) Append(dataset string, sum core.Summary) (snapshotDue bool, err error) {
+	return s.AppendTraced(nil, dataset, sum)
+}
+
+// AppendTraced is Append carrying the registering request's span: the
+// durable write is recorded as a store.append child span, with the fsync
+// and any segment rotation as its own children. A nil parent (or no
+// tracer behind it) records nothing. AppendTraced implements half of
+// server.TracedPersister.
+func (s *Store) AppendTraced(parent *trace.Span, dataset string, sum core.Summary) (snapshotDue bool, err error) {
+	sp := parent.StartChild("store.append")
+	defer sp.Finish()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -600,16 +631,21 @@ func (s *Store) Append(dataset string, sum core.Summary) (snapshotDue bool, err 
 		// Rotation failure is not an append failure: the record still lands
 		// durably in the over-cap live segment, costing recovery granularity
 		// rather than the request. Rotation is retried on the next append.
+		rsp := sp.StartChild("store.rotate")
 		_ = s.rotateLocked()
+		rsp.Finish()
 	}
 	live := s.live
 	prevEnd := live.w.end
+	sp.SetInt("segment", live.seq)
 	if err := live.w.append(dataset, sum); err != nil {
 		return false, err
 	}
 	if s.opts.Fsync {
+		fsp := sp.StartChild("store.fsync")
 		fsyncStart := time.Now()
 		if err := live.f.Sync(); err != nil {
+			fsp.Finish()
 			// The record is fully framed on disk, but this error makes the
 			// caller roll the registration back and fail the request — so
 			// the frame must go too, or a restart would resurrect a summary
@@ -626,12 +662,14 @@ func (s *Store) Append(dataset string, sum core.Summary) (snapshotDue bool, err 
 			live.w.end = prevEnd
 			return false, fmt.Errorf("store: syncing WAL: %w", err)
 		}
+		fsp.Finish()
 		s.metrics.fsync.ObserveSince(fsyncStart)
 	}
 	live.records++
 	s.sinceSnapshot++
 	s.metrics.walAppends.Inc()
 	s.metrics.walBytes.Add(uint64(live.w.end - prevEnd))
+	sp.SetInt("bytes", live.w.end-prevEnd)
 	return s.opts.SnapshotEvery > 0 && s.sinceSnapshot >= s.opts.SnapshotEvery, nil
 }
 
@@ -683,6 +721,17 @@ func (s *Store) rotateLocked() error {
 // the next due snapshot re-covers the skipped appends. Snapshot
 // implements the other half of server.Persister.
 func (s *Store) Snapshot(dump func(emit func(dataset string, sum core.Summary) error) error, commit func(ok bool), syncWait bool) (wait func() error, err error) {
+	return s.SnapshotTraced(nil, dump, commit, syncWait)
+}
+
+// SnapshotTraced is Snapshot carrying the span of the operation that cut
+// it (the registering request for an automatic snapshot, nil for
+// explicit/shutdown cuts). The snapshot outlives the request, so it is
+// recorded as its own trace (rooted at store.snapshot) stamped with the
+// trigger's trace ID rather than as a child span; the live-segment seal
+// it performs inline, however, IS a child of the trigger. SnapshotTraced
+// implements the other half of server.TracedPersister.
+func (s *Store) SnapshotTraced(trigger *trace.Span, dump func(emit func(dataset string, sum core.Summary) error) error, commit func(ok bool), syncWait bool) (wait func() error, err error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -702,14 +751,17 @@ func (s *Store) Snapshot(dump func(emit func(dataset string, sum core.Summary) e
 	if s.live.records > 0 {
 		// Seal the live segment so the cut covers every record appended so
 		// far and the worker can delete segments up to it.
-		if err := s.rotateLocked(); err != nil {
+		rsp := trigger.StartChild("store.rotate")
+		err := s.rotateLocked()
+		rsp.Finish()
+		if err != nil {
 			s.lastSnapErr = err.Error()
 			s.mu.Unlock()
 			commit(false)
 			return nil, err
 		}
 	}
-	job := &snapJob{cut: s.live.seq - 1, dump: dump, commit: commit, done: make(chan error, 1)}
+	job := &snapJob{cut: s.live.seq - 1, dump: dump, commit: commit, done: make(chan error, 1), trigger: trigger.TraceID()}
 	s.pending++
 	s.snapQ = append(s.snapQ, job)
 	s.snapCond.Signal()
@@ -747,10 +799,18 @@ func (s *Store) worker() {
 			err = s.writeSnapshot(job)
 		}
 		if err != nil {
+			// Stamp the failure with the run's sequence so the
+			// snapshot_error surfaced in /healthz names a specific,
+			// log-correlatable snapshot attempt.
+			msg := err.Error()
+			if job.seq > 0 {
+				msg = fmt.Sprintf("snapshot %d: %s", job.seq, msg)
+			}
 			s.mu.Lock()
-			s.lastSnapErr = err.Error()
+			s.lastSnapErr = msg
 			s.mu.Unlock()
 		}
+		s.logSnapshot(job, err)
 		// Off every store lock: commit re-enters the registry, whose lock
 		// ranks above the store's.
 		job.commit(err == nil)
@@ -762,6 +822,30 @@ func (s *Store) worker() {
 	}
 }
 
+// logSnapshot emits one background-snapshot line per completed job,
+// carrying the snapshot sequence and the trace ID of the triggering cut —
+// the correlation fields that make a later snapshot_error attributable.
+func (s *Store) logSnapshot(job *snapJob, err error) {
+	l := s.opts.Logger
+	if l == nil {
+		return
+	}
+	if err != nil {
+		l.LogAttrs(context.Background(), slog.LevelError, "snapshot failed",
+			slog.Int64("snapshot_seq", job.seq),
+			slog.String("trigger_trace", job.trigger),
+			slog.String("error", err.Error()),
+		)
+		return
+	}
+	l.LogAttrs(context.Background(), slog.LevelInfo, "snapshot",
+		slog.Int64("snapshot_seq", job.seq),
+		slog.String("trigger_trace", job.trigger),
+		slog.Int64("entries", job.entries),
+		slog.Duration("duration", job.dur),
+	)
+}
+
 // writeSnapshot runs one snapshot job on the worker goroutine. The dump
 // (already a consistent cut) streams into the next chain file; when the
 // chain would outgrow maxSnapshotChain it is merged with the existing
@@ -769,7 +853,7 @@ func (s *Store) worker() {
 // past the covered segments and those files are deleted — strictly after
 // the chain file is durable, so a crash at any point leaves a directory
 // that recovers to the same state.
-func (s *Store) writeSnapshot(job *snapJob) error {
+func (s *Store) writeSnapshot(job *snapJob) (err error) {
 	snapStart := time.Now()
 	s.mu.Lock()
 	chain := append([]int64(nil), s.snapSeqs...)
@@ -779,6 +863,21 @@ func (s *Store) writeSnapshot(job *snapJob) error {
 	if len(chain) > 0 {
 		nextSeq = chain[len(chain)-1] + 1
 	}
+	job.seq = nextSeq
+	// The snapshot outlives whatever triggered it, so it records as its
+	// own trace, stamped with the trigger's trace ID for correlation.
+	sp := s.opts.Tracer.StartSpan("store.snapshot", trace.SpanContext{})
+	sp.SetInt("snapshot_seq", nextSeq)
+	if job.trigger != "" {
+		sp.SetAttr("trigger_trace", job.trigger)
+	}
+	defer func() {
+		job.dur = time.Since(snapStart)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.Finish()
+	}()
 	dump := job.dump
 	merge := len(chain)+1 > maxSnapshotChain
 	if merge {
@@ -806,6 +905,8 @@ func (s *Store) writeSnapshot(job *snapJob) error {
 	if err != nil {
 		return err
 	}
+	job.entries = entries
+	sp.SetInt("entries", entries)
 	wrote := entries > 0 || merge
 	if !wrote {
 		// Nothing was dirty at the cut. Every record in the covered

@@ -131,24 +131,71 @@ type DatasetInfo struct {
 	Keys      int    `json:"keys"`
 }
 
+// Accuracy is the optional error-bar block of a query result: the
+// standard error of the estimate it annotates (from the estimator's
+// variance bound or an unbiased plug-in variance estimate) and the
+// two-sided 95% normal interval half-width (1.96·stderr). Both are 0 for
+// an exact answer and omitted when no bound is known for the summary
+// kind; StdErr annotates the HT column where a result carries several
+// estimators.
+type Accuracy struct {
+	StdErr float64 `json:"stderr"`
+	CI95   float64 `json:"ci95"`
+}
+
+// Explain is the optional query-execution report requested with
+// explain=1: which stored summaries the estimate consulted and through
+// which representation.
+type Explain struct {
+	// Summaries describes each consulted summary, in instance order.
+	Summaries []ExplainSummary `json:"summaries"`
+	// EntriesScanned totals the retained entries across the consulted
+	// summaries — the work a full scan of the query touched.
+	EntriesScanned int `json:"entries_scanned"`
+	// BytesTouched totals the wire bytes behind zero-copy views (0 for
+	// hydrated summaries, which have no resident wire image).
+	BytesTouched int `json:"bytes_touched"`
+}
+
+// ExplainSummary describes one consulted summary.
+type ExplainSummary struct {
+	Instance int    `json:"instance"`
+	Kind     string `json:"kind"`
+	// Path is the representation queried: "view" (zero-copy over v2 wire
+	// bytes) or "hydrated" (map-backed).
+	Path string `json:"path"`
+	// Entries is the number of retained keys; Bytes the wire length for
+	// views (0 when hydrated).
+	Entries int `json:"entries"`
+	Bytes   int `json:"bytes,omitempty"`
+}
+
 // DistinctResult answers q=distinct: the estimated number of distinct
-// keys across the queried set summaries.
+// keys across the queried set summaries, or — for a single bottom-k
+// instance — the rank-conditioning distinct estimate of that instance
+// (reported in HT with L = 0).
 type DistinctResult struct {
 	Dataset   string  `json:"dataset"`
 	Instances []int   `json:"instances"`
 	HT        float64 `json:"ht"`
 	L         float64 `json:"l"`
 	KeysUsed  int     `json:"keys_used"`
+	// Accuracy bounds the HT estimate's standard error when one is known
+	// (set summaries: per-key HT independence bound; bottom-k: the
+	// k-dependent CV bound).
+	Accuracy *Accuracy `json:"accuracy,omitempty"`
+	Explain  *Explain  `json:"explain,omitempty"`
 }
 
 // DominanceResult answers q=maxdominance: the estimated max-dominance norm
 // Σ_h max_i v_i(h) over two PPS summaries.
 type DominanceResult struct {
-	Dataset   string  `json:"dataset"`
-	Instances []int   `json:"instances"`
-	HT        float64 `json:"ht"`
-	L         float64 `json:"l"`
-	KeysUsed  int     `json:"keys_used"`
+	Dataset   string   `json:"dataset"`
+	Instances []int    `json:"instances"`
+	HT        float64  `json:"ht"`
+	L         float64  `json:"l"`
+	KeysUsed  int      `json:"keys_used"`
+	Explain   *Explain `json:"explain,omitempty"`
 }
 
 // QuantileResult answers q=quantile: the estimated ℓ-th largest value of
@@ -161,7 +208,8 @@ type QuantileResult struct {
 	Index int     `json:"index"`
 	HT    float64 `json:"ht"`
 	// Sampled is the number of queried summaries holding the key.
-	Sampled int `json:"sampled"`
+	Sampled int      `json:"sampled"`
+	Explain *Explain `json:"explain,omitempty"`
 }
 
 // SumResult answers q=sum: the single-instance subset-sum estimate of a
@@ -170,6 +218,12 @@ type SumResult struct {
 	Dataset  string  `json:"dataset"`
 	Instance int     `json:"instance"`
 	Sum      float64 `json:"sum"`
+	// Accuracy bounds the estimate's standard error when one is known:
+	// exact 0 for VarOpt full sums and never-thresholded bottom-k
+	// summaries, the unbiased per-key HT variance estimate for PPS, the
+	// binomial bound for set cardinalities, est/√(k−2) for bottom-k.
+	Accuracy *Accuracy `json:"accuracy,omitempty"`
+	Explain  *Explain  `json:"explain,omitempty"`
 }
 
 // ErrorResult is the body of every non-2xx response. On wire-format

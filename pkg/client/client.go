@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -27,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs/trace"
 	"repro/pkg/api"
 )
 
@@ -142,6 +144,16 @@ func (c *Client) doRaw(req *http.Request) (body []byte, contentType string, err 
 	return body, resp.Header.Get("Content-Type"), nil
 }
 
+// injectTrace propagates a span carried by ctx (trace.ContextWithSpan)
+// onto the outgoing request as a W3C traceparent header, so a traced
+// server continues the caller's trace instead of minting a fresh one.
+// Without a span in the context this is a no-op.
+func injectTrace(ctx context.Context, req *http.Request) {
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		req.Header.Set("traceparent", sp.Context().Traceparent())
+	}
+}
+
 func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
 	u := c.base + path
 	if len(q) > 0 {
@@ -155,10 +167,18 @@ func (c *Client) get(ctx context.Context, path string, q url.Values, out any) er
 	// running a non-JSON default wire format (-wire 2) from ever sending
 	// binary where a JSON result type is expected.
 	req.Header.Set("Accept", "application/json")
+	injectTrace(ctx, req)
 	return c.do(req, out)
 }
 
 func (c *Client) post(ctx context.Context, path string, q url.Values, contentType string, body io.Reader, out any) error {
+	return c.postHdr(ctx, path, q, contentType, nil, body, out)
+}
+
+// postHdr is post with extra headers: the summary-post path uses it to
+// thread one X-Request-ID through the preferred-wire attempt and its v1
+// fallback retry.
+func (c *Client) postHdr(ctx context.Context, path string, q url.Values, contentType string, hdr http.Header, body io.Reader, out any) error {
 	u := c.base + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
@@ -167,7 +187,13 @@ func (c *Client) post(ctx context.Context, path string, q url.Values, contentTyp
 	if err != nil {
 		return err
 	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
 	req.Header.Set("Content-Type", contentType)
+	injectTrace(ctx, req)
 	return c.do(req, out)
 }
 
@@ -200,13 +226,19 @@ func (c *Client) Datasets(ctx context.Context) ([]api.DatasetInfo, error) {
 // failed to parse binary as JSON — the post is retried once as v1 JSON,
 // and a successful retry pins the client to v1 so later posts skip the
 // doomed attempt.
+//
+// All attempts of one PostSummary call carry the same client-minted
+// X-Request-ID (and, when the context carries a span, the same
+// traceparent), so a fallback retry correlates with the attempt it
+// replaces in server logs and traces.
 func (c *Client) PostSummary(ctx context.Context, dataset string, summary any) (api.PostResult, error) {
 	q := url.Values{"dataset": {dataset}}
+	hdr := http.Header{"X-Request-Id": {newRequestID()}}
 	var out api.PostResult
 
 	// Pre-encoded bytes pass through untranscoded.
 	if raw, ok := rawWire(summary); ok {
-		err := c.post(ctx, "/v1/summaries", q, sniffContentType(raw), bytes.NewReader(raw), &out)
+		err := c.postHdr(ctx, "/v1/summaries", q, sniffContentType(raw), hdr, bytes.NewReader(raw), &out)
 		return out, err
 	}
 
@@ -221,7 +253,7 @@ func (c *Client) PostSummary(ctx context.Context, dataset string, summary any) (
 			if err != nil {
 				return out, fmt.Errorf("client: encoding summary: %w", err)
 			}
-			err = c.post(ctx, "/v1/summaries", q, codec.ContentType(), bytes.NewReader(body), &out)
+			err = c.postHdr(ctx, "/v1/summaries", q, codec.ContentType(), hdr, bytes.NewReader(body), &out)
 			if err == nil || !wireUnsupported(err) {
 				return out, err
 			}
@@ -233,7 +265,7 @@ func (c *Client) PostSummary(ctx context.Context, dataset string, summary any) (
 	if err != nil {
 		return out, fmt.Errorf("client: encoding summary: %w", err)
 	}
-	err = c.post(ctx, "/v1/summaries", q, "application/json", bytes.NewReader(body), &out)
+	err = c.postHdr(ctx, "/v1/summaries", q, "application/json", hdr, bytes.NewReader(body), &out)
 	if triedPreferred && err == nil {
 		// The v1 retry succeeded where the preferred version was refused:
 		// the rejection really was about the format (not, say, a bad
@@ -311,11 +343,18 @@ func (c *Client) FetchDecodedSummary(ctx context.Context, dataset string, instan
 		}
 	}
 	req.Header.Set("Accept", accept)
+	injectTrace(ctx, req)
 	body, _, err := c.doRaw(req)
 	if err != nil {
 		return nil, err
 	}
 	return core.DecodeSummary(body)
+}
+
+// newRequestID mints a client-side request ID: short, printable, and
+// unique enough to correlate the at-most-two attempts of a single post.
+func newRequestID() string {
+	return "c-" + strconv.FormatUint(rand.Uint64(), 36)
 }
 
 // IngestOptions parameterizes a raw-stream ingest. Exactly the fields of

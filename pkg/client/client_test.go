@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/obs/trace"
 	"repro/internal/server"
 	"repro/pkg/api"
 	"repro/pkg/client"
@@ -205,5 +206,52 @@ func TestClientNoFallbackOnRealErrors(t *testing.T) {
 	}
 	if c.WireVersion() != 2 {
 		t.Fatalf("WireVersion = %d after a 409, want 2 (no downgrade)", c.WireVersion())
+	}
+}
+
+// TestClientFallbackSharesCorrelation: the v2 attempt and its v1
+// fallback retry are one logical operation, so they must arrive with the
+// same client-minted X-Request-ID and — when the caller's context
+// carries a span — the same traceparent, keeping the pair correlated in
+// server logs and traces.
+func TestClientFallbackSharesCorrelation(t *testing.T) {
+	h, _ := v1OnlyHandler(http.StatusUnsupportedMediaType, "unknown wire version")
+	var rids, parents []string
+	capture := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rids = append(rids, r.Header.Get("X-Request-ID"))
+		parents = append(parents, r.Header.Get("traceparent"))
+		h.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(capture)
+	defer ts.Close()
+
+	tr := trace.New(4)
+	sp := tr.StartSpan("client.post", trace.SpanContext{})
+	ctx := trace.ContextWithSpan(context.Background(), sp)
+
+	c := client.New(ts.URL, ts.Client(), client.WithWireVersion(2))
+	if _, err := c.PostSummary(ctx, "flows", testSummary(t)); err != nil {
+		t.Fatalf("post against v1-only server: %v", err)
+	}
+	sp.Finish()
+
+	if len(rids) != 2 {
+		t.Fatalf("saw %d requests, want 2 (v2 attempt + v1 retry)", len(rids))
+	}
+	if rids[0] == "" || rids[0] != rids[1] {
+		t.Fatalf("X-Request-ID not shared across attempts: %q vs %q", rids[0], rids[1])
+	}
+	want := sp.Context().Traceparent()
+	if parents[0] != want || parents[1] != want {
+		t.Fatalf("traceparent not shared across attempts: %q / %q, want %q",
+			parents[0], parents[1], want)
+	}
+
+	// A second operation must NOT reuse the first one's request ID.
+	if _, err := c.PostSummary(ctx, "flows", testSummary(t)); err != nil {
+		t.Fatal(err)
+	}
+	if rids[2] == rids[0] {
+		t.Fatalf("distinct operations share request ID %q", rids[2])
 	}
 }
